@@ -1,0 +1,134 @@
+//! Static sorted dense array — the scan upper bound.
+//!
+//! The paper uses a "static dense array" as the roofline for scan
+//! throughput (Fig. 1c, 10c, 12b): keys and values in two dense sorted
+//! columns, point lookups by binary search, no update support. The
+//! RMA's goal is to approach this structure's scan speed while staying
+//! updatable.
+
+use crate::{Key, Value};
+
+/// Immutable sorted column pair.
+#[derive(Debug, Clone)]
+pub struct DenseArray {
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+}
+
+impl DenseArray {
+    /// Builds from key-sorted pairs.
+    pub fn from_sorted(pairs: &[(Key, Value)]) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted input");
+        DenseArray {
+            keys: pairs.iter().map(|p| p.0).collect(),
+            vals: pairs.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Builds from a pair of parallel columns (must be key-sorted).
+    pub fn from_columns(keys: Vec<Key>, vals: Vec<Value>) -> Self {
+        assert_eq!(keys.len(), vals.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted input");
+        DenseArray { keys, vals }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Resident bytes of both columns.
+    pub fn memory_footprint(&self) -> usize {
+        (self.keys.capacity() + self.vals.capacity()) * 8
+    }
+
+    /// Binary-search point lookup; returns a value stored under `k`.
+    pub fn get(&self, k: Key) -> Option<Value> {
+        let pos = self.keys.partition_point(|&x| x < k);
+        if pos < self.keys.len() && self.keys[pos] == k {
+            Some(self.vals[pos])
+        } else {
+            None
+        }
+    }
+
+    /// Rank of the first element `>= k`.
+    pub fn lower_bound(&self, k: Key) -> usize {
+        self.keys.partition_point(|&x| x < k)
+    }
+
+    /// Key at rank `i` (sorted position).
+    pub fn key_at(&self, i: usize) -> Key {
+        self.keys[i]
+    }
+
+    /// Sums `count` values starting at rank `start` — the dense-scan
+    /// kernel the RMA is compared against.
+    pub fn sum_rank_range(&self, start: usize, count: usize) -> (usize, i64) {
+        let end = (start + count).min(self.vals.len());
+        let mut sum = 0i64;
+        for &v in &self.vals[start.min(end)..end] {
+            sum = sum.wrapping_add(v);
+        }
+        (end - start.min(end), sum)
+    }
+
+    /// Sums up to `count` values starting at the first key `>= start`.
+    pub fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
+        self.sum_rank_range(self.lower_bound(start), count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: i64) -> DenseArray {
+        DenseArray::from_sorted(&(0..n).map(|i| (i * 2, 1)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn get_finds_existing_keys_only() {
+        let d = sample(100);
+        assert_eq!(d.get(10), Some(1));
+        assert_eq!(d.get(11), None);
+        assert_eq!(d.get(-1), None);
+        assert_eq!(d.get(500), None);
+    }
+
+    #[test]
+    fn sum_range_counts_elements() {
+        let d = sample(1000);
+        let (n, sum) = d.sum_range(100, 50);
+        assert_eq!((n, sum), (50, 50));
+        let (n, _) = d.sum_range(1990, 100);
+        assert_eq!(n, 5, "clipped at the end");
+    }
+
+    #[test]
+    fn rank_range_clips() {
+        let d = sample(10);
+        assert_eq!(d.sum_rank_range(8, 100), (2, 2));
+        assert_eq!(d.sum_rank_range(100, 10), (0, 0));
+    }
+
+    #[test]
+    fn empty_array() {
+        let d = DenseArray::from_sorted(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.get(1), None);
+        assert_eq!(d.sum_range(0, 10), (0, 0));
+    }
+
+    #[test]
+    fn lower_bound_on_duplicates() {
+        let d = DenseArray::from_sorted(&[(5, 0), (5, 1), (5, 2), (9, 3)]);
+        assert_eq!(d.lower_bound(5), 0);
+        assert_eq!(d.lower_bound(6), 3);
+    }
+}

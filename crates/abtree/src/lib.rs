@@ -1,0 +1,31 @@
+//! (a,b)-tree and static dense array — the paper's comparators.
+//!
+//! Following the paper's terminology (§I), an *(a,b)-tree* is a B+-tree
+//! whose node capacity is optimised for CPU cache lines rather than
+//! disk blocks: the maximum leaf capacity `B` is a tuning parameter
+//! (Fig. 1b/10 sweep it from 32 to 2048), inner nodes hold at most 64
+//! separator keys (the paper's micro-benchmarked optimum), keys and
+//! values are stored in separate arrays inside each leaf, and leaves
+//! are chained for range scans with software prefetching of the next
+//! leaf.
+//!
+//! Nodes live in index-based arenas with free lists. This mirrors how
+//! a pointer-based tree ages (Fig. 13a): a freshly bulk-loaded tree
+//! has its leaves laid out contiguously in allocation order, and
+//! update churn progressively scatters logically adjacent leaves
+//! across the arena, degrading scan locality.
+//!
+//! The [`dense::DenseArray`] module provides the static sorted column
+//! used as the scan-throughput upper bound in Fig. 1c, 10c and 12b.
+
+pub mod dense;
+pub mod node;
+mod tree;
+
+pub use dense::DenseArray;
+pub use tree::{AbTree, AbTreeConfig};
+
+/// Key type (8-byte integer), shared across the reproduction.
+pub type Key = i64;
+/// Value type (8-byte integer), shared across the reproduction.
+pub type Value = i64;

@@ -1,0 +1,274 @@
+//! Arena-allocated nodes of the (a,b)-tree.
+//!
+//! Leaves keep keys and values in two separate fixed-capacity arrays
+//! (the paper's key-value split) and carry a `next` link for scans.
+//! Inner nodes hold separator keys and child ids. Children of a node
+//! at inner level 1 are leaves; at level ≥ 2 they are inner nodes —
+//! the tree tracks its height, so child ids do not need a tag.
+
+use crate::{Key, Value};
+
+/// Sentinel id for "no node".
+pub const NIL: u32 = u32::MAX;
+
+/// A leaf: sorted keys, parallel values, scan chain link.
+#[derive(Debug)]
+pub struct Leaf {
+    /// Sorted keys; length `len`, capacity `B`.
+    pub keys: Box<[Key]>,
+    /// Values parallel to `keys`.
+    pub vals: Box<[Value]>,
+    /// Occupied prefix length.
+    pub len: usize,
+    /// Next leaf in key order, or [`NIL`].
+    pub next: u32,
+    /// Previous leaf in key order, or [`NIL`].
+    pub prev: u32,
+}
+
+impl Leaf {
+    /// An empty leaf with capacity `b`.
+    pub fn new(b: usize) -> Self {
+        Leaf {
+            keys: vec![0; b].into_boxed_slice(),
+            vals: vec![0; b].into_boxed_slice(),
+            len: 0,
+            next: NIL,
+            prev: NIL,
+        }
+    }
+
+    /// First position with key `>= k` (lower bound).
+    #[inline]
+    pub fn lower_bound(&self, k: Key) -> usize {
+        self.keys[..self.len].partition_point(|&x| x < k)
+    }
+
+    /// Smallest key; leaf must be non-empty.
+    #[inline]
+    pub fn min_key(&self) -> Key {
+        debug_assert!(self.len > 0);
+        self.keys[0]
+    }
+
+    /// Inserts `(k, v)` at sorted position `pos`, shifting the tail.
+    pub fn insert_at(&mut self, pos: usize, k: Key, v: Value) {
+        debug_assert!(self.len < self.keys.len());
+        self.keys.copy_within(pos..self.len, pos + 1);
+        self.vals.copy_within(pos..self.len, pos + 1);
+        self.keys[pos] = k;
+        self.vals[pos] = v;
+        self.len += 1;
+    }
+
+    /// Removes and returns the entry at `pos`.
+    pub fn remove_at(&mut self, pos: usize) -> (Key, Value) {
+        debug_assert!(pos < self.len);
+        let out = (self.keys[pos], self.vals[pos]);
+        self.keys.copy_within(pos + 1..self.len, pos);
+        self.vals.copy_within(pos + 1..self.len, pos);
+        self.len -= 1;
+        out
+    }
+}
+
+/// An inner node: `keys[i]` separates `children[i]` from
+/// `children[i+1]` and equals the minimum key of `children[i+1]`'s
+/// subtree.
+#[derive(Debug)]
+pub struct Inner {
+    /// Separator keys, `children.len() - 1` of them.
+    pub keys: Vec<Key>,
+    /// Child ids (leaf ids at inner level 1, inner ids above).
+    pub children: Vec<u32>,
+}
+
+impl Inner {
+    /// An inner node with room for `f` separator keys.
+    pub fn new(f: usize) -> Self {
+        Inner {
+            keys: Vec::with_capacity(f),
+            children: Vec::with_capacity(f + 1),
+        }
+    }
+
+    /// The child to descend into for `k`: equal keys route right, so
+    /// duplicates of a separator live in the child whose subtree
+    /// minimum equals that separator.
+    #[inline]
+    pub fn route(&self, k: Key) -> usize {
+        self.keys.partition_point(|&s| s <= k)
+    }
+}
+
+/// Simple slab arena with a free list.
+///
+/// Ids of freed nodes are recycled, which is exactly what makes a
+/// long-updated tree's leaves scatter in memory (the Fig. 13a aging
+/// effect).
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Stores `value`, returning its id.
+    pub fn alloc(&mut self, value: T) -> u32 {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(value);
+            id
+        } else {
+            self.slots.push(Some(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Releases `id` for reuse.
+    pub fn dealloc(&mut self, id: u32) -> T {
+        let value = self.slots[id as usize].take().expect("double free");
+        self.live -= 1;
+        self.free.push(id);
+        value
+    }
+
+    /// Shared access.
+    #[inline]
+    pub fn get(&self, id: u32) -> &T {
+        self.slots[id as usize].as_ref().expect("dangling id")
+    }
+
+    /// Exclusive access.
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> &mut T {
+        self.slots[id as usize].as_mut().expect("dangling id")
+    }
+
+    /// Exclusive access to two distinct slots at once (used when
+    /// redistributing between siblings).
+    pub fn get2_mut(&mut self, a: u32, b: u32) -> (&mut T, &mut T) {
+        assert_ne!(a, b);
+        let (lo, hi, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (left, right) = self.slots.split_at_mut(hi as usize);
+        let x = left[lo as usize].as_mut().expect("dangling id");
+        let y = right[0].as_mut().expect("dangling id");
+        if swapped {
+            (y, x)
+        } else {
+            (x, y)
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no nodes are live.
+    #[allow(dead_code)] // part of the arena's natural API; used in tests
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_insert_remove_keeps_order() {
+        let mut l = Leaf::new(8);
+        for (i, k) in [5, 1, 9, 3].iter().enumerate() {
+            let pos = l.lower_bound(*k);
+            l.insert_at(pos, *k, i as i64);
+        }
+        assert_eq!(&l.keys[..l.len], &[1, 3, 5, 9]);
+        let (k, _) = l.remove_at(1);
+        assert_eq!(k, 3);
+        assert_eq!(&l.keys[..l.len], &[1, 5, 9]);
+    }
+
+    #[test]
+    fn leaf_lower_bound_handles_duplicates() {
+        let mut l = Leaf::new(8);
+        for k in [2, 2, 2, 5] {
+            let pos = l.lower_bound(k);
+            l.insert_at(pos, k, 0);
+        }
+        assert_eq!(l.lower_bound(2), 0);
+        assert_eq!(l.lower_bound(3), 3);
+        assert_eq!(l.lower_bound(6), 4);
+    }
+
+    #[test]
+    fn inner_route_sends_equal_keys_right() {
+        let mut n = Inner::new(4);
+        n.keys = vec![10, 20];
+        n.children = vec![0, 1, 2];
+        assert_eq!(n.route(5), 0);
+        assert_eq!(n.route(10), 1);
+        assert_eq!(n.route(15), 1);
+        assert_eq!(n.route(20), 2);
+        assert_eq!(n.route(99), 2);
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut a: Arena<u64> = Arena::new();
+        let x = a.alloc(1);
+        let y = a.alloc(2);
+        assert_eq!(a.dealloc(x), 1);
+        let z = a.alloc(3);
+        assert_eq!(z, x, "freed slot must be recycled");
+        assert_eq!(*a.get(y), 2);
+        assert_eq!(*a.get(z), 3);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        a.dealloc(y);
+        a.dealloc(z);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn arena_get2_mut_both_orders() {
+        let mut a: Arena<u64> = Arena::new();
+        let x = a.alloc(1);
+        let y = a.alloc(2);
+        {
+            let (px, py) = a.get2_mut(x, y);
+            std::mem::swap(px, py);
+        }
+        assert_eq!(*a.get(x), 2);
+        let (py, px) = a.get2_mut(y, x);
+        *py += 10;
+        *px += 100;
+        assert_eq!(*a.get(y), 11);
+        assert_eq!(*a.get(x), 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn arena_double_free_panics() {
+        let mut a: Arena<u64> = Arena::new();
+        let x = a.alloc(1);
+        a.dealloc(x);
+        a.dealloc(x);
+    }
+}

@@ -1,0 +1,62 @@
+//! ART — Adaptive Radix Tree (Leis, Kemper & Neumann, ICDE 2013) and
+//! the trie-indexed (a,b)-tree built on top of it.
+//!
+//! The paper's strongest tree competitor ("ART" in Fig. 10/11) "is
+//! still actually an (a,b)-tree, but the leaves are this time indexed
+//! by ART, a form of trie". This crate provides both pieces:
+//!
+//! * [`Art`] — a from-scratch ART over fixed 8-byte keys with the four
+//!   adaptive node sizes (Node4/16/48/256), path compression, and the
+//!   *floor* search (`greatest entry ≤ key`) needed to route a key to
+//!   the (a,b)-tree leaf whose range contains it;
+//! * [`ArtTree`] — chained (a,b)-tree leaves (shared layout with the
+//!   `abtree` crate) indexed by an [`Art`] over each leaf's minimum
+//!   key.
+//!
+//! Keys are mapped to big-endian byte strings through an
+//! order-preserving transform (`i64` → offset binary), so
+//! lexicographic byte order equals integer order.
+
+mod indexed;
+mod node;
+mod trie;
+
+pub use indexed::ArtTree;
+pub use trie::Art;
+
+/// Key type (8-byte integer), shared across the reproduction.
+pub type Key = i64;
+/// Value type (8-byte integer), shared across the reproduction.
+pub type Value = i64;
+
+/// Order-preserving transform from `i64` to big-endian bytes.
+#[inline]
+pub(crate) fn key_bytes(k: Key) -> [u8; 8] {
+    ((k as u64) ^ (1u64 << 63)).to_be_bytes()
+}
+
+/// Inverse of [`key_bytes`].
+#[inline]
+pub(crate) fn key_from_bytes(b: [u8; 8]) -> Key {
+    (u64::from_be_bytes(b) ^ (1u64 << 63)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_transform_round_trips() {
+        for k in [i64::MIN, -5, -1, 0, 1, 42, i64::MAX] {
+            assert_eq!(key_from_bytes(key_bytes(k)), k);
+        }
+    }
+
+    #[test]
+    fn key_transform_preserves_order() {
+        let keys = [i64::MIN, -100, -1, 0, 1, 7, 1 << 40, i64::MAX];
+        for w in keys.windows(2) {
+            assert!(key_bytes(w[0]) < key_bytes(w[1]));
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The four adaptive node sizes of ART.
+//!
+//! Inner nodes grow Node4 → Node16 → Node48 → Node256 as children are
+//! added and shrink back as they are removed, so the space per child
+//! stays bounded while child lookup stays O(1)-ish at every size
+//! (Leis et al., ICDE 2013, §III).
+
+/// A stored entry: full key bytes plus the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry<V> {
+    /// Big-endian, order-preserving key image.
+    pub key: [u8; 8],
+    /// Payload.
+    pub value: V,
+}
+
+/// A node of the trie.
+#[derive(Debug)]
+pub enum Node<V> {
+    /// Single-value leaf.
+    Leaf(LeafEntry<V>),
+    /// Inner node with a compressed prefix and adaptive children.
+    Inner(Box<Inner<V>>),
+}
+
+/// Compressed path prefix. Keys are 8 bytes, so the prefix always
+/// fits inline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prefix {
+    bytes: [u8; 8],
+    len: u8,
+}
+
+impl Prefix {
+    /// Builds a prefix from a byte slice (≤ 8 bytes).
+    pub fn new(bytes: &[u8]) -> Self {
+        let mut p = Prefix::default();
+        p.bytes[..bytes.len()].copy_from_slice(bytes);
+        p.len = bytes.len() as u8;
+        p
+    }
+
+    /// The prefix bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Number of prefix bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the prefix is empty.
+    #[inline]
+    #[allow(dead_code)] // natural companion of len(); used in tests
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Length of the longest common prefix with `other`.
+    #[inline]
+    pub fn common_with(&self, other: &[u8]) -> usize {
+        self.as_slice()
+            .iter()
+            .zip(other)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Concatenation `self ++ [byte] ++ tail`, used when collapsing a
+    /// one-child node into its child.
+    pub fn join(&self, byte: u8, tail: &Prefix) -> Prefix {
+        let mut out = Prefix::default();
+        let mut n = 0;
+        for &b in self.as_slice() {
+            out.bytes[n] = b;
+            n += 1;
+        }
+        out.bytes[n] = byte;
+        n += 1;
+        for &b in tail.as_slice() {
+            out.bytes[n] = b;
+            n += 1;
+        }
+        out.len = n as u8;
+        out
+    }
+}
+
+/// Inner node: prefix + adaptive child collection.
+#[derive(Debug)]
+pub struct Inner<V> {
+    /// Compressed path below the parent edge.
+    pub prefix: Prefix,
+    /// The children, keyed by the next byte.
+    pub children: Children<V>,
+}
+
+/// Adaptive child storage.
+#[derive(Debug)]
+pub enum Children<V> {
+    /// ≤ 4 children, sorted parallel arrays.
+    N4 {
+        keys: [u8; 4],
+        slots: [Option<Node<V>>; 4],
+        count: u8,
+    },
+    /// ≤ 16 children, sorted parallel arrays.
+    N16 {
+        keys: [u8; 16],
+        slots: [Option<Node<V>>; 16],
+        count: u8,
+    },
+    /// ≤ 48 children, 256-entry indirection table.
+    N48 {
+        index: Box<[u8; 256]>,
+        slots: Box<[Option<Node<V>>; 48]>,
+        count: u8,
+    },
+    /// Direct 256-entry table.
+    N256 {
+        slots: Box<[Option<Node<V>>; 256]>,
+        count: u16,
+    },
+}
+
+/// "Empty" marker in the Node48 indirection table.
+const N48_NONE: u8 = 0xFF;
+
+impl<V> Inner<V> {
+    /// An empty Node4 with the given prefix.
+    pub fn new(prefix: Prefix) -> Self {
+        Inner {
+            prefix,
+            children: Children::N4 {
+                keys: [0; 4],
+                slots: [None, None, None, None],
+                count: 0,
+            },
+        }
+    }
+}
+
+impl<V> Children<V> {
+    /// Number of children.
+    pub fn count(&self) -> usize {
+        match self {
+            Children::N4 { count, .. } | Children::N16 { count, .. } | Children::N48 { count, .. } => {
+                *count as usize
+            }
+            Children::N256 { count, .. } => *count as usize,
+        }
+    }
+
+    /// Child for byte `b`.
+    pub fn find(&self, b: u8) -> Option<&Node<V>> {
+        match self {
+            Children::N4 { keys, slots, count } => {
+                let n = *count as usize;
+                keys[..n]
+                    .iter()
+                    .position(|&k| k == b)
+                    .and_then(|i| slots[i].as_ref())
+            }
+            Children::N16 { keys, slots, count } => {
+                let n = *count as usize;
+                keys[..n]
+                    .binary_search(&b)
+                    .ok()
+                    .and_then(|i| slots[i].as_ref())
+            }
+            Children::N48 { index, slots, .. } => {
+                let i = index[b as usize];
+                if i == N48_NONE {
+                    None
+                } else {
+                    slots[i as usize].as_ref()
+                }
+            }
+            Children::N256 { slots, .. } => slots[b as usize].as_ref(),
+        }
+    }
+
+    /// Mutable child for byte `b`.
+    pub fn find_mut(&mut self, b: u8) -> Option<&mut Node<V>> {
+        match self {
+            Children::N4 { keys, slots, count } => {
+                let n = *count as usize;
+                keys[..n]
+                    .iter()
+                    .position(|&k| k == b)
+                    .and_then(move |i| slots[i].as_mut())
+            }
+            Children::N16 { keys, slots, count } => {
+                let n = *count as usize;
+                match keys[..n].binary_search(&b) {
+                    Ok(i) => slots[i].as_mut(),
+                    Err(_) => None,
+                }
+            }
+            Children::N48 { index, slots, .. } => {
+                let i = index[b as usize];
+                if i == N48_NONE {
+                    None
+                } else {
+                    slots[i as usize].as_mut()
+                }
+            }
+            Children::N256 { slots, .. } => slots[b as usize].as_mut(),
+        }
+    }
+
+    /// True if a child for byte `b` exists.
+    pub fn contains(&self, b: u8) -> bool {
+        self.find(b).is_some()
+    }
+
+    /// Inserts a child; the byte must not be present. Grows the node
+    /// representation when full.
+    pub fn insert(&mut self, b: u8, node: Node<V>) {
+        debug_assert!(!self.contains(b));
+        if self.is_full() {
+            self.grow();
+        }
+        match self {
+            Children::N4 { keys, slots, count } => {
+                let n = *count as usize;
+                let pos = keys[..n].partition_point(|&k| k < b);
+                for i in (pos..n).rev() {
+                    keys[i + 1] = keys[i];
+                    slots[i + 1] = slots[i].take();
+                }
+                keys[pos] = b;
+                slots[pos] = Some(node);
+                *count += 1;
+            }
+            Children::N16 { keys, slots, count } => {
+                let n = *count as usize;
+                let pos = keys[..n].partition_point(|&k| k < b);
+                for i in (pos..n).rev() {
+                    keys[i + 1] = keys[i];
+                    slots[i + 1] = slots[i].take();
+                }
+                keys[pos] = b;
+                slots[pos] = Some(node);
+                *count += 1;
+            }
+            Children::N48 { index, slots, count } => {
+                let free = slots.iter().position(|s| s.is_none()).expect("N48 full");
+                slots[free] = Some(node);
+                index[b as usize] = free as u8;
+                *count += 1;
+            }
+            Children::N256 { slots, count } => {
+                slots[b as usize] = Some(node);
+                *count += 1;
+            }
+        }
+    }
+
+    /// Removes and returns the child at byte `b` (must exist).
+    /// Shrinks the representation when it becomes sparse.
+    pub fn remove(&mut self, b: u8) -> Node<V> {
+        let out = match self {
+            Children::N4 { keys, slots, count } => {
+                let n = *count as usize;
+                let pos = keys[..n].iter().position(|&k| k == b).expect("missing child");
+                let node = slots[pos].take().expect("missing slot");
+                for i in pos..n - 1 {
+                    keys[i] = keys[i + 1];
+                    slots[i] = slots[i + 1].take();
+                }
+                *count -= 1;
+                node
+            }
+            Children::N16 { keys, slots, count } => {
+                let n = *count as usize;
+                let pos = keys[..n].binary_search(&b).expect("missing child");
+                let node = slots[pos].take().expect("missing slot");
+                for i in pos..n - 1 {
+                    keys[i] = keys[i + 1];
+                    slots[i] = slots[i + 1].take();
+                }
+                *count -= 1;
+                node
+            }
+            Children::N48 { index, slots, count } => {
+                let i = index[b as usize];
+                assert_ne!(i, N48_NONE, "missing child");
+                index[b as usize] = N48_NONE;
+                *count -= 1;
+                slots[i as usize].take().expect("missing slot")
+            }
+            Children::N256 { slots, count } => {
+                *count -= 1;
+                slots[b as usize].take().expect("missing child")
+            }
+        };
+        self.maybe_shrink();
+        out
+    }
+
+    /// `(byte, child)` pairs in ascending byte order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &Node<V>)> {
+        ChildIter {
+            children: self,
+            next_byte: 0,
+            done: false,
+        }
+    }
+
+    /// Largest child with byte strictly below `b`.
+    pub fn max_below(&self, b: u8) -> Option<(u8, &Node<V>)> {
+        let mut byte = b;
+        while byte > 0 {
+            byte -= 1;
+            if let Some(n) = self.find(byte) {
+                return Some((byte, n));
+            }
+        }
+        None
+    }
+
+    /// Child with the smallest byte.
+    pub fn min_child(&self) -> (u8, &Node<V>) {
+        self.iter().next().expect("empty inner node")
+    }
+
+    /// Child with the largest byte.
+    pub fn max_child(&self) -> (u8, &Node<V>) {
+        let mut byte = 255u8;
+        loop {
+            if let Some(n) = self.find(byte) {
+                return (byte, n);
+            }
+            byte = byte.checked_sub(1).expect("empty inner node");
+        }
+    }
+
+    /// The only remaining `(byte, child)`; panics unless count == 1.
+    pub fn take_single(&mut self) -> (u8, Node<V>) {
+        assert_eq!(self.count(), 1);
+        let byte = self.min_child().0;
+        (byte, self.remove(byte))
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Children::N4 { count, .. } => *count == 4,
+            Children::N16 { count, .. } => *count == 16,
+            Children::N48 { count, .. } => *count == 48,
+            Children::N256 { .. } => false,
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(
+            self,
+            Children::N256 {
+                slots: empty_slots_256(),
+                count: 0,
+            },
+        );
+        match old {
+            Children::N4 { keys, mut slots, count } => {
+                let mut nk = [0u8; 16];
+                let mut ns: [Option<Node<V>>; 16] = Default::default();
+                nk[..4].copy_from_slice(&keys);
+                for i in 0..count as usize {
+                    ns[i] = slots[i].take();
+                }
+                *self = Children::N16 {
+                    keys: nk,
+                    slots: ns,
+                    count,
+                };
+            }
+            Children::N16 { keys, mut slots, count } => {
+                let mut index = Box::new([N48_NONE; 256]);
+                let mut ns: Box<[Option<Node<V>>; 48]> = empty_slots_48();
+                for i in 0..count as usize {
+                    ns[i] = slots[i].take();
+                    index[keys[i] as usize] = i as u8;
+                }
+                *self = Children::N48 {
+                    index,
+                    slots: ns,
+                    count,
+                };
+            }
+            Children::N48 { index, mut slots, count } => {
+                let mut ns = empty_slots_256();
+                for b in 0..256usize {
+                    let i = index[b];
+                    if i != N48_NONE {
+                        ns[b] = slots[i as usize].take();
+                    }
+                }
+                *self = Children::N256 {
+                    slots: ns,
+                    count: count as u16,
+                };
+            }
+            Children::N256 { .. } => unreachable!("N256 never grows"),
+        }
+    }
+
+    fn maybe_shrink(&mut self) {
+        match self {
+            Children::N256 { count, .. } if *count == 48 => {
+                let Children::N256 { mut slots, .. } = std::mem::replace(
+                    self,
+                    Children::N4 {
+                        keys: [0; 4],
+                        slots: [None, None, None, None],
+                        count: 0,
+                    },
+                ) else {
+                    unreachable!()
+                };
+                let mut index = Box::new([N48_NONE; 256]);
+                let mut ns = empty_slots_48();
+                let mut n = 0u8;
+                for b in 0..256usize {
+                    if let Some(node) = slots[b].take() {
+                        ns[n as usize] = Some(node);
+                        index[b] = n;
+                        n += 1;
+                    }
+                }
+                *self = Children::N48 {
+                    index,
+                    slots: ns,
+                    count: n,
+                };
+            }
+            Children::N48 { count, .. } if *count == 16 => {
+                let Children::N48 { index, mut slots, .. } = std::mem::replace(
+                    self,
+                    Children::N4 {
+                        keys: [0; 4],
+                        slots: [None, None, None, None],
+                        count: 0,
+                    },
+                ) else {
+                    unreachable!()
+                };
+                let mut keys = [0u8; 16];
+                let mut ns: [Option<Node<V>>; 16] = Default::default();
+                let mut n = 0usize;
+                for b in 0..256usize {
+                    let i = index[b];
+                    if i != N48_NONE {
+                        keys[n] = b as u8;
+                        ns[n] = slots[i as usize].take();
+                        n += 1;
+                    }
+                }
+                *self = Children::N16 {
+                    keys,
+                    slots: ns,
+                    count: n as u8,
+                };
+            }
+            Children::N16 { count, .. } if *count == 4 => {
+                let Children::N16 { keys, mut slots, .. } = std::mem::replace(
+                    self,
+                    Children::N4 {
+                        keys: [0; 4],
+                        slots: [None, None, None, None],
+                        count: 0,
+                    },
+                ) else {
+                    unreachable!()
+                };
+                let mut nk = [0u8; 4];
+                let mut ns: [Option<Node<V>>; 4] = [None, None, None, None];
+                nk.copy_from_slice(&keys[..4]);
+                for i in 0..4 {
+                    ns[i] = slots[i].take();
+                }
+                *self = Children::N4 {
+                    keys: nk,
+                    slots: ns,
+                    count: 4,
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+fn empty_slots_48<V>() -> Box<[Option<Node<V>>; 48]> {
+    let v: Vec<Option<Node<V>>> = (0..48).map(|_| None).collect();
+    v.into_boxed_slice().try_into().ok().expect("48 slots")
+}
+
+fn empty_slots_256<V>() -> Box<[Option<Node<V>>; 256]> {
+    let v: Vec<Option<Node<V>>> = (0..256).map(|_| None).collect();
+    v.into_boxed_slice().try_into().ok().expect("256 slots")
+}
+
+struct ChildIter<'a, V> {
+    children: &'a Children<V>,
+    next_byte: u16,
+    done: bool,
+}
+
+impl<'a, V> Iterator for ChildIter<'a, V> {
+    type Item = (u8, &'a Node<V>);
+
+    fn next(&mut self) -> Option<(u8, &'a Node<V>)> {
+        if self.done {
+            return None;
+        }
+        while self.next_byte < 256 {
+            let b = self.next_byte as u8;
+            self.next_byte += 1;
+            if let Some(n) = self.children.find(b) {
+                return Some((b, n));
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(v: u64) -> Node<u64> {
+        Node::Leaf(LeafEntry { key: [0; 8], value: v })
+    }
+
+    fn value(n: &Node<u64>) -> u64 {
+        match n {
+            Node::Leaf(l) => l.value,
+            _ => panic!("not a leaf"),
+        }
+    }
+
+    #[test]
+    fn grow_through_all_sizes() {
+        let mut c: Children<u64> = Children::N4 {
+            keys: [0; 4],
+            slots: [None, None, None, None],
+            count: 0,
+        };
+        for b in 0..=255u8 {
+            c.insert(b, leaf(b as u64));
+        }
+        assert!(matches!(c, Children::N256 { .. }));
+        assert_eq!(c.count(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(value(c.find(b).unwrap()), b as u64);
+        }
+    }
+
+    #[test]
+    fn shrink_back_down() {
+        let mut c: Children<u64> = Children::N4 {
+            keys: [0; 4],
+            slots: [None, None, None, None],
+            count: 0,
+        };
+        for b in 0..=255u8 {
+            c.insert(b, leaf(b as u64));
+        }
+        for b in (3..=255u8).rev() {
+            c.remove(b);
+        }
+        assert!(matches!(c, Children::N4 { .. }));
+        assert_eq!(c.count(), 3);
+        for b in 0..3u8 {
+            assert_eq!(value(c.find(b).unwrap()), b as u64);
+        }
+    }
+
+    #[test]
+    fn iteration_is_byte_ordered() {
+        let mut c: Children<u64> = Children::N4 {
+            keys: [0; 4],
+            slots: [None, None, None, None],
+            count: 0,
+        };
+        for b in [9u8, 1, 200, 57, 120, 3] {
+            c.insert(b, leaf(b as u64));
+        }
+        let bytes: Vec<u8> = c.iter().map(|(b, _)| b).collect();
+        assert_eq!(bytes, vec![1, 3, 9, 57, 120, 200]);
+    }
+
+    #[test]
+    fn max_below_and_extremes() {
+        let mut c: Children<u64> = Children::N4 {
+            keys: [0; 4],
+            slots: [None, None, None, None],
+            count: 0,
+        };
+        for b in [10u8, 20, 30] {
+            c.insert(b, leaf(b as u64));
+        }
+        assert_eq!(c.max_below(25).map(|(b, _)| b), Some(20));
+        assert!(c.max_below(10).is_none());
+        assert_eq!(c.min_child().0, 10);
+        assert_eq!(c.max_child().0, 30);
+    }
+
+    #[test]
+    fn prefix_join() {
+        let a = Prefix::new(&[1, 2]);
+        let b = Prefix::new(&[4, 5]);
+        let j = a.join(3, &b);
+        assert_eq!(j.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn prefix_common() {
+        let p = Prefix::new(&[1, 2, 3]);
+        assert_eq!(p.common_with(&[1, 2, 9, 9]), 2);
+        assert_eq!(p.common_with(&[1, 2, 3, 4]), 3);
+        assert_eq!(p.common_with(&[9]), 0);
+        assert!(!p.is_empty());
+        assert!(Prefix::default().is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! The ART proper: insert, exact lookup, delete, and the ordered
+//! searches (floor / min / max) that let the trie act as a leaf index
+//! for a B+-tree-style structure.
+
+use crate::node::{Inner, LeafEntry, Node, Prefix};
+use crate::{key_bytes, key_from_bytes, Key};
+
+/// Adaptive radix tree over 8-byte integer keys.
+#[derive(Debug, Default)]
+pub struct Art<V: Copy> {
+    root: Option<Node<V>>,
+    len: usize,
+}
+
+impl<V: Copy> Art<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Art { root: None, len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `k → v`; returns the previous value if `k` was present.
+    pub fn insert(&mut self, k: Key, v: V) -> Option<V> {
+        let key = key_bytes(k);
+        match &mut self.root {
+            None => {
+                self.root = Some(Node::Leaf(LeafEntry { key, value: v }));
+                self.len += 1;
+                None
+            }
+            Some(node) => {
+                let old = Self::insert_rec(node, key, v, 0);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<V>, key: [u8; 8], v: V, depth: usize) -> Option<V> {
+        match node {
+            Node::Leaf(existing) => {
+                if existing.key == key {
+                    return Some(std::mem::replace(&mut existing.value, v));
+                }
+                // Split: an inner node whose prefix is the common part
+                // of both suffixes.
+                let common = existing.key[depth..]
+                    .iter()
+                    .zip(&key[depth..])
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                let mut inner = Inner::new(Prefix::new(&key[depth..depth + common]));
+                let old_leaf = std::mem::replace(
+                    node,
+                    Node::Leaf(LeafEntry { key, value: v }), // placeholder
+                );
+                let Node::Leaf(old_entry) = old_leaf else { unreachable!() };
+                inner
+                    .children
+                    .insert(old_entry.key[depth + common], Node::Leaf(old_entry));
+                inner
+                    .children
+                    .insert(key[depth + common], Node::Leaf(LeafEntry { key, value: v }));
+                *node = Node::Inner(Box::new(inner));
+                None
+            }
+            Node::Inner(inner) => {
+                let common = inner.prefix.common_with(&key[depth..]);
+                if common < inner.prefix.len() {
+                    // Prefix mismatch: split the prefix at `common`.
+                    let full = inner.prefix;
+                    let edge_byte = full.as_slice()[common];
+                    inner.prefix = Prefix::new(&full.as_slice()[common + 1..]);
+                    let old_inner = std::mem::replace(
+                        node,
+                        Node::Leaf(LeafEntry { key, value: v }), // placeholder
+                    );
+                    let mut parent = Inner::new(Prefix::new(&full.as_slice()[..common]));
+                    parent.children.insert(edge_byte, old_inner);
+                    parent
+                        .children
+                        .insert(key[depth + common], Node::Leaf(LeafEntry { key, value: v }));
+                    *node = Node::Inner(Box::new(parent));
+                    return None;
+                }
+                let next_depth = depth + inner.prefix.len();
+                let byte = key[next_depth];
+                match inner.children.find_mut(byte) {
+                    Some(child) => Self::insert_rec(child, key, v, next_depth + 1),
+                    None => {
+                        inner
+                            .children
+                            .insert(byte, Node::Leaf(LeafEntry { key, value: v }));
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, k: Key) -> Option<V> {
+        let key = key_bytes(k);
+        let mut node = self.root.as_ref()?;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf(l) => return (l.key == key).then_some(l.value),
+                Node::Inner(inner) => {
+                    if inner.prefix.common_with(&key[depth..]) < inner.prefix.len() {
+                        return None;
+                    }
+                    depth += inner.prefix.len();
+                    node = inner.children.find(key[depth])?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes `k`, returning its value.
+    pub fn remove(&mut self, k: Key) -> Option<V> {
+        let key = key_bytes(k);
+        let root = self.root.as_mut()?;
+        let out = match root {
+            Node::Leaf(l) if l.key == key => {
+                let v = l.value;
+                self.root = None;
+                Some(v)
+            }
+            Node::Leaf(_) => None,
+            Node::Inner(_) => Self::remove_rec(root, key, 0),
+        };
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Removes `key` from the subtree of `node` (an Inner); collapses
+    /// `node` in place if it drops to a single child.
+    fn remove_rec(node: &mut Node<V>, key: [u8; 8], depth: usize) -> Option<V> {
+        let out;
+        let collapse;
+        {
+            let Node::Inner(inner) = node else {
+                unreachable!("caller guarantees Inner")
+            };
+            if inner.prefix.common_with(&key[depth..]) < inner.prefix.len() {
+                return None;
+            }
+            let next_depth = depth + inner.prefix.len();
+            let byte = key[next_depth];
+            let is_matching_leaf = match inner.children.find(byte)? {
+                Node::Leaf(l) => {
+                    if l.key != key {
+                        return None;
+                    }
+                    true
+                }
+                Node::Inner(_) => false,
+            };
+            out = if is_matching_leaf {
+                let Node::Leaf(l) = inner.children.remove(byte) else {
+                    unreachable!()
+                };
+                l.value
+            } else {
+                let child = inner.children.find_mut(byte).expect("checked above");
+                Self::remove_rec(child, key, next_depth + 1)?
+            };
+            collapse = inner.children.count() == 1;
+        }
+        if collapse {
+            // Path compression: merge with the only remaining child.
+            let replacement = {
+                let Node::Inner(inner) = node else { unreachable!() };
+                let (edge, only) = inner.children.take_single();
+                match only {
+                    Node::Leaf(l) => Node::Leaf(l),
+                    Node::Inner(mut ci) => {
+                        ci.prefix = inner.prefix.join(edge, &ci.prefix);
+                        Node::Inner(ci)
+                    }
+                }
+            };
+            *node = replacement;
+        }
+        Some(out)
+    }
+
+    /// Greatest entry with key `≤ k` — the routing query of the
+    /// ART-indexed (a,b)-tree: it finds the leaf whose key range
+    /// contains `k`.
+    pub fn floor(&self, k: Key) -> Option<(Key, V)> {
+        let key = key_bytes(k);
+        let node = self.root.as_ref()?;
+        Self::floor_rec(node, key, 0)
+    }
+
+    fn floor_rec(node: &Node<V>, key: [u8; 8], depth: usize) -> Option<(Key, V)> {
+        match node {
+            Node::Leaf(l) => (l.key <= key).then(|| (key_from_bytes(l.key), l.value)),
+            Node::Inner(inner) => {
+                let p = inner.prefix.as_slice();
+                let rest = &key[depth..];
+                let common = inner.prefix.common_with(rest);
+                if common < p.len() {
+                    // The whole subtree shares prefix p; compare the
+                    // first differing byte to decide which side of
+                    // `key` the subtree falls on.
+                    return if p[common] < rest[common] {
+                        Some(Self::max_entry(node))
+                    } else {
+                        None
+                    };
+                }
+                let next_depth = depth + p.len();
+                let byte = key[next_depth];
+                if let Some(child) = inner.children.find(byte) {
+                    if let Some(hit) = Self::floor_rec(child, key, next_depth + 1) {
+                        return Some(hit);
+                    }
+                }
+                inner
+                    .children
+                    .max_below(byte)
+                    .map(|(_, child)| Self::max_entry(child))
+            }
+        }
+    }
+
+    fn max_entry(node: &Node<V>) -> (Key, V) {
+        let mut cur = node;
+        loop {
+            match cur {
+                Node::Leaf(l) => return (key_from_bytes(l.key), l.value),
+                Node::Inner(inner) => cur = inner.children.max_child().1,
+            }
+        }
+    }
+
+    fn min_entry(node: &Node<V>) -> (Key, V) {
+        let mut cur = node;
+        loop {
+            match cur {
+                Node::Leaf(l) => return (key_from_bytes(l.key), l.value),
+                Node::Inner(inner) => cur = inner.children.min_child().1,
+            }
+        }
+    }
+
+    /// Smallest entry.
+    pub fn min(&self) -> Option<(Key, V)> {
+        self.root.as_ref().map(Self::min_entry)
+    }
+
+    /// Largest entry.
+    pub fn max(&self) -> Option<(Key, V)> {
+        self.root.as_ref().map(Self::max_entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = Art::new();
+        for k in [5i64, -3, 0, 1 << 40, 77] {
+            assert_eq!(t.insert(k, k * 2), None);
+        }
+        for k in [5i64, -3, 0, 1 << 40, 77] {
+            assert_eq!(t.get(k), Some(k * 2), "get {k}");
+        }
+        assert_eq!(t.get(6), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = Art::new();
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(1, 20), Some(10));
+        assert_eq!(t.get(1), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dense_range_exercises_node_growth() {
+        let mut t = Art::new();
+        for k in 0..10_000i64 {
+            t.insert(k, k);
+        }
+        for k in 0..10_000i64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+        assert_eq!(t.get(10_000), None);
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn sparse_keys_exercise_prefix_splits() {
+        let keys: Vec<i64> = (0..2000).map(|i| (i as i64) << 31).collect();
+        let mut t = Art::new();
+        for &k in &keys {
+            t.insert(k, -k);
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(-k));
+            assert_eq!(t.get(k + 1), None);
+        }
+    }
+
+    #[test]
+    fn remove_everything() {
+        let mut t = Art::new();
+        let keys: Vec<i64> = (0..5000).map(|i| i * 977 % 9999).collect();
+        let mut uniq = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        assert_eq!(t.len(), uniq.len());
+        for &k in &uniq {
+            assert_eq!(t.remove(k), Some(k), "remove {k}");
+            assert_eq!(t.get(k), None);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.remove(1), None);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = Art::new();
+        t.insert(10, 1);
+        t.insert(1 << 20, 2);
+        assert_eq!(t.remove(11), None);
+        assert_eq!(t.remove((1 << 20) + 5), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn floor_semantics() {
+        let mut t = Art::new();
+        for k in [10i64, 20, 30, 1 << 35] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.floor(5), None);
+        assert_eq!(t.floor(10), Some((10, 10)));
+        assert_eq!(t.floor(15), Some((10, 10)));
+        assert_eq!(t.floor(29), Some((20, 20)));
+        assert_eq!(t.floor(1 << 34), Some((30, 30)));
+        assert_eq!(t.floor(i64::MAX), Some((1 << 35, 1 << 35)));
+    }
+
+    #[test]
+    fn floor_with_negative_keys() {
+        let mut t = Art::new();
+        for k in [-100i64, -50, 0, 50] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.floor(-75), Some((-100, -100)));
+        assert_eq!(t.floor(-50), Some((-50, -50)));
+        assert_eq!(t.floor(-1), Some((-50, -50)));
+        assert_eq!(t.floor(1000), Some((50, 50)));
+        assert_eq!(t.floor(i64::MIN), None);
+    }
+
+    #[test]
+    fn floor_against_btreemap_oracle() {
+        use std::collections::BTreeMap;
+        let mut t = Art::new();
+        let mut oracle = BTreeMap::new();
+        let mut x = 88172645463325252u64;
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x >> 20) as i64;
+            t.insert(k, k);
+            oracle.insert(k, k);
+        }
+        for probe in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let q = (x >> 18) as i64;
+            let want = oracle.range(..=q).next_back().map(|(&k, &v)| (k, v));
+            assert_eq!(t.floor(q), want, "probe {probe} q={q}");
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        let mut t = Art::new();
+        assert_eq!(t.min(), None);
+        for k in [42i64, -7, 99, 0] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.min(), Some((-7, -7)));
+        assert_eq!(t.max(), Some((99, 99)));
+    }
+
+    #[test]
+    fn churn_with_oracle() {
+        use std::collections::BTreeMap;
+        let mut t = Art::new();
+        let mut oracle = BTreeMap::new();
+        let mut x = 123456789u64;
+        for step in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = ((x >> 48) & 0xFFF) as i64; // small domain → collisions
+            if step % 3 == 0 {
+                assert_eq!(t.remove(k), oracle.remove(&k), "step {step} remove {k}");
+            } else {
+                assert_eq!(t.insert(k, step), oracle.insert(k, step), "step {step} insert {k}");
+            }
+            assert_eq!(t.len(), oracle.len());
+        }
+    }
+}

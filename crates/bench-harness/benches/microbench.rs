@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the core operations of every
+//! structure in the reproduction. The figure-level experiments live in
+//! `src/bin/` (one driver per paper figure); these benches measure the
+//! primitive costs — insert, point lookup, range scan, Zipf sampling,
+//! rebalancing primitives — with statistical rigour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use abtree::{AbTree, AbTreeConfig, DenseArray};
+use art::ArtTree;
+use pma_baseline::{Tpma, TpmaConfig};
+use rma_core::{Rma, RmaConfig};
+use workloads::{KeyStream, Pattern, SplitMix64, Zipf};
+
+const N: usize = 1 << 16;
+
+fn pairs(n: usize) -> Vec<(i64, i64)> {
+    KeyStream::new(Pattern::Uniform, 42).take_pairs(n)
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let data = pairs(N);
+    let mut g = c.benchmark_group("insert_uniform");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("rma_b128", |b| {
+        b.iter(|| {
+            let mut s = Rma::new(RmaConfig::with_segment_size(128));
+            for &(k, v) in &data {
+                s.insert(k, v);
+            }
+            black_box(s.len())
+        })
+    });
+    g.bench_function("rma_plain_b128", |b| {
+        b.iter(|| {
+            let mut s = Rma::new(RmaConfig::with_segment_size(128).plain());
+            for &(k, v) in &data {
+                s.insert(k, v);
+            }
+            black_box(s.len())
+        })
+    });
+    g.bench_function("abtree_b128", |b| {
+        b.iter(|| {
+            let mut s = AbTree::new(AbTreeConfig::with_leaf_capacity(128));
+            for &(k, v) in &data {
+                s.insert(k, v);
+            }
+            black_box(s.len())
+        })
+    });
+    g.bench_function("art_b128", |b| {
+        b.iter(|| {
+            let mut s = ArtTree::new(128);
+            for &(k, v) in &data {
+                s.insert(k, v);
+            }
+            black_box(s.len())
+        })
+    });
+    g.bench_function("tpma", |b| {
+        b.iter(|| {
+            let mut s = Tpma::new(TpmaConfig::traditional());
+            for &(k, v) in &data {
+                s.insert(k, v);
+            }
+            black_box(s.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let data = pairs(N);
+    let mut rma = Rma::new(RmaConfig::with_segment_size(128));
+    let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(128));
+    let mut art = ArtTree::new(128);
+    for &(k, v) in &data {
+        rma.insert(k, v);
+        tree.insert(k, v);
+        art.insert(k, v);
+    }
+    let probes: Vec<i64> = {
+        let mut rng = SplitMix64::new(7);
+        (0..1024).map(|_| data[rng.next_below(N as u64) as usize].0).collect()
+    };
+    let mut g = c.benchmark_group("point_lookup");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("rma_b128", |b| {
+        b.iter(|| probes.iter().map(|&k| rma.get(k).unwrap()).sum::<i64>())
+    });
+    g.bench_function("abtree_b128", |b| {
+        b.iter(|| probes.iter().map(|&k| tree.get(k).unwrap()).sum::<i64>())
+    });
+    g.bench_function("art_b128", |b| {
+        b.iter(|| probes.iter().map(|&k| art.get(k).unwrap()).sum::<i64>())
+    });
+    g.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let data = pairs(N);
+    let mut rma = Rma::new(RmaConfig::with_segment_size(128));
+    let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(128));
+    let mut tpma = Tpma::new(TpmaConfig::traditional());
+    for &(k, v) in &data {
+        rma.insert(k, v);
+        tree.insert(k, v);
+        tpma.insert(k, v);
+    }
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let dense = DenseArray::from_sorted(&sorted);
+
+    let mut g = c.benchmark_group("full_scan");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("rma_b128", |b| b.iter(|| black_box(rma.sum_range(i64::MIN, N))));
+    g.bench_function("abtree_b128", |b| b.iter(|| black_box(tree.sum_range(i64::MIN, N))));
+    g.bench_function("tpma_interleaved", |b| {
+        b.iter(|| black_box(tpma.sum_range(i64::MIN, N)))
+    });
+    g.bench_function("dense_array", |b| b.iter(|| black_box(dense.sum_range(i64::MIN, N))));
+    g.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let base = {
+        let mut p = pairs(N);
+        p.sort_unstable();
+        p
+    };
+    let batch = {
+        let mut p = KeyStream::new(Pattern::Uniform, 77).take_pairs(N / 64);
+        p.sort_unstable();
+        p
+    };
+    let mut g = c.benchmark_group("bulk_load_1.5pct");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.sample_size(10);
+    for (name, top_down) in [("bottom_up", false), ("top_down", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &top_down, |b, &td| {
+            b.iter_batched(
+                || {
+                    let mut r = Rma::new(RmaConfig::with_segment_size(128));
+                    r.load_bulk(&base);
+                    r
+                },
+                |mut r| {
+                    if td {
+                        r.load_bulk_top_down(&batch);
+                    } else {
+                        r.load_bulk(&batch);
+                    }
+                    black_box(r.len())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf_sampler");
+    g.throughput(Throughput::Elements(1024));
+    for alpha in [0.5, 1.0, 2.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            let mut z = Zipf::new(1 << 27, a);
+            let mut rng = SplitMix64::new(3);
+            b.iter(|| (0..1024).map(|_| z.sample(&mut rng)).sum::<u64>())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_lookups,
+    bench_scans,
+    bench_bulk_load,
+    bench_zipf
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Internal debugging: adaptive mixed-workload throughput per alpha.
+use bench_harness::{time, zipf_beta, Cli};
+use rma_core::{Rma, RmaConfig};
+use workloads::{KeyStream, MixedWorkload, Op, Pattern};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale;
+    let beta = zipf_beta(n);
+    for alpha in [1.5, 2.0, 3.0] {
+        let pattern = Pattern::Zipf { alpha, beta };
+        let mut r = Rma::new(RmaConfig::with_segment_size(128));
+        let mut s = KeyStream::new(pattern, 42);
+        for _ in 0..n {
+            let (k, v) = s.next_pair();
+            r.insert(k, v);
+        }
+        let mut mixed = MixedWorkload::new(pattern, 1024, 42 ^ 0xA, 42 ^ 0xB);
+        let (_, secs) = time(|| {
+            for _ in 0..n {
+                match mixed.next_op() {
+                    Op::Insert(k, v) => r.insert(k, v),
+                    Op::DeleteSuccessor(k) => { r.remove_successor(k); }
+                }
+            }
+        });
+        println!("alpha {alpha}: mixed {:.0}K/s rebal={} adaptive={} grows={} shrinks={}",
+            n as f64 / secs / 1e3, r.stats().rebalances, r.stats().adaptive_rebalances,
+            r.stats().grows, r.stats().shrinks);
+    }
+}

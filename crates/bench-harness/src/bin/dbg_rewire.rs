@@ -1,0 +1,47 @@
+//! Internal debugging: isolate rewiring primitive costs.
+use rewiring::{RewireOptions, RewiredVec};
+use std::time::Instant;
+
+fn main() {
+    let opts = RewireOptions { page_bytes: 64 << 10, reserve_bytes: 1 << 30, force_heap: false };
+    let mut v = RewiredVec::<i64>::new(opts);
+    let epp = v.elems_per_page();
+    v.resize_in_place(64 * epp);
+    v.as_mut_slice().fill(7);
+
+    // warm buffer
+    let _ = v.array_and_buffer_mut(8 * epp);
+
+    let t = Instant::now();
+    let rounds = 2000;
+    for _ in 0..rounds {
+        let (arr, buf) = v.array_and_buffer_mut(8 * epp);
+        buf.copy_from_slice(&arr[..8 * epp]);
+        v.commit_window_swap(0, 8 * epp);
+    }
+    let el = t.elapsed().as_secs_f64();
+    println!("rewired swap of 8 pages x{rounds}: {:.1} us/commit ({:.2} GB/s effective)", el/rounds as f64*1e6, ((rounds * 8 * 64) << 10) as f64 / el / 1e9);
+
+    // compare: pure memcpy of same volume on heap
+    let mut a = vec![7i64; 64 * epp];
+    let mut b = vec![0i64; 8 * epp];
+    let t = Instant::now();
+    for _ in 0..rounds {
+        b.copy_from_slice(&a[..8 * epp]);
+        a[..8 * epp].copy_from_slice(&b);
+    }
+    let el = t.elapsed().as_secs_f64();
+    println!("two-pass heap memcpy of 8 pages x{rounds}: {:.1} us ({:.2} GB/s)", el/rounds as f64*1e6, ((rounds * 8 * 64) << 10) as f64 / el / 1e9);
+
+    // read-after-swap cost (faults?)
+    let t = Instant::now();
+    let mut sum = 0i64;
+    for _ in 0..rounds {
+        let (arr, buf) = v.array_and_buffer_mut(8 * epp);
+        buf.copy_from_slice(&arr[..8 * epp]);
+        v.commit_window_swap(0, 8 * epp);
+        sum += v.as_slice()[..8 * epp].iter().sum::<i64>();
+    }
+    let el = t.elapsed().as_secs_f64();
+    println!("swap+readback x{rounds}: {:.1} us/commit (sum {sum})", el/rounds as f64*1e6);
+}

@@ -1,0 +1,149 @@
+//! Figure 12 — update-oriented vs scan-oriented density thresholds.
+//!
+//! Inserts N elements (uniform and sequential patterns) into the RMA
+//! under the UT preset (`ρ₁=0.08, ρ_h=0.3, τ_h=0.75, τ₁=1`, doubling
+//! resizes) and the ST preset (`ρ₁=0, ρ_h=τ_h=0.75, τ₁=1`,
+//! proportional resizes), plus the (a,b)-tree and the dense array.
+//! At size checkpoints it reports a) insertion throughput since the
+//! previous checkpoint, b) full-scan throughput, c) memory footprint.
+
+use abtree::{AbTree, AbTreeConfig};
+use bench_harness::stores::dense_from_pairs;
+use bench_harness::{fmt_bytes, throughput, time, Cli};
+use rma_core::{Rma, RmaConfig, Thresholds};
+use workloads::{KeyStream, Pattern};
+
+struct Row {
+    name: &'static str,
+    ins: f64,
+    scan: f64,
+    bytes: usize,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale;
+    let b = cli.seg;
+    let checkpoints: Vec<usize> = (1..=8).map(|i| n * i / 8).collect();
+
+    println!("# Fig. 12 — N={n}, B={b}");
+    for pattern in [Pattern::Uniform, Pattern::Sequential] {
+        println!("\n## pattern: {}", pattern.label());
+        println!(
+            "{:>10} {:<10} {:>12} {:>12} {:>12}",
+            "size", "structure", "ins elts/s", "scan elts/s", "footprint"
+        );
+        let mut ut = Rma::new(
+            RmaConfig::with_segment_size(b).with_thresholds(Thresholds::update_oriented()),
+        );
+        let mut st = Rma::new(
+            RmaConfig::with_segment_size(b).with_thresholds(Thresholds::scan_oriented()),
+        );
+        let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(b));
+        let mut ut_stream = KeyStream::new(pattern, cli.seed);
+        let mut st_stream = KeyStream::new(pattern, cli.seed);
+        let mut tr_stream = KeyStream::new(pattern, cli.seed);
+        let mut dense_stream = KeyStream::new(pattern, cli.seed);
+        let mut done = 0usize;
+        for &c in &checkpoints {
+            let batch = c - done;
+            done = c;
+            let mut rows: Vec<Row> = Vec::new();
+            {
+                let (_, secs) = time(|| {
+                    for _ in 0..batch {
+                        let (k, v) = ut_stream.next_pair();
+                        ut.insert(k, v);
+                    }
+                });
+                let (visited, ssecs) = time(|| {
+                    let (n, sum) = ut.sum_range(i64::MIN, c);
+                    std::hint::black_box(sum);
+                    n
+                });
+                rows.push(Row {
+                    name: "RMA/UT",
+                    ins: throughput(batch, secs),
+                    scan: throughput(visited, ssecs),
+                    bytes: ut.memory_footprint(),
+                });
+            }
+            {
+                let (_, secs) = time(|| {
+                    for _ in 0..batch {
+                        let (k, v) = st_stream.next_pair();
+                        st.insert(k, v);
+                    }
+                });
+                let (visited, ssecs) = time(|| {
+                    let (n, sum) = st.sum_range(i64::MIN, c);
+                    std::hint::black_box(sum);
+                    n
+                });
+                rows.push(Row {
+                    name: "RMA/ST",
+                    ins: throughput(batch, secs),
+                    scan: throughput(visited, ssecs),
+                    bytes: st.memory_footprint(),
+                });
+            }
+            {
+                let (_, secs) = time(|| {
+                    for _ in 0..batch {
+                        let (k, v) = tr_stream.next_pair();
+                        tree.insert(k, v);
+                    }
+                });
+                let (visited, ssecs) = time(|| {
+                    let (n, sum) = tree.sum_range(i64::MIN, c);
+                    std::hint::black_box(sum);
+                    n
+                });
+                rows.push(Row {
+                    name: "(a,b)-tree",
+                    ins: throughput(batch, secs),
+                    scan: throughput(visited, ssecs),
+                    bytes: tree.memory_footprint(),
+                });
+            }
+            {
+                // The dense array is static: rebuilt per checkpoint
+                // from the prefix of the same stream.
+                let _ = dense_stream.take_pairs(batch);
+                let all: Vec<(i64, i64)> = {
+                    let mut s = KeyStream::new(pattern, cli.seed);
+                    s.take_pairs(c)
+                };
+                let dense = dense_from_pairs(&all);
+                let (visited, ssecs) = time(|| {
+                    let (n, sum) = dense.sum_range(i64::MIN, c);
+                    std::hint::black_box(sum);
+                    n
+                });
+                rows.push(Row {
+                    name: "Dense array",
+                    ins: f64::NAN,
+                    scan: throughput(visited, ssecs),
+                    bytes: dense.memory_footprint(),
+                });
+            }
+            for r in rows {
+                println!(
+                    "{:>10} {:<10} {:>12.3e} {:>12.3e} {:>12}",
+                    c,
+                    r.name,
+                    r.ins,
+                    r.scan,
+                    fmt_bytes(r.bytes)
+                );
+            }
+        }
+        println!(
+            "resizes: UT grows={} shrinks={}, ST grows={} shrinks={}",
+            ut.stats().grows,
+            ut.stats().shrinks,
+            st.stats().grows,
+            st.stats().shrinks
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 13b — bulk loading.
+//!
+//! Fills the RMA with N/2 uniform elements, then loads N/2 more in
+//! batches of ~1% of the structure, drawn uniform or Zipf(α), and
+//! reports the per-element load throughput for:
+//!
+//! * `RMA` — element-wise insertions (no batching);
+//! * `Bottom up -RWR` — the paper's bottom-up scheme, rewiring off;
+//! * `Bottom up +RWR` — the same with memory rewiring;
+//! * `Top down` — the DRF12 top-down scheme.
+
+use bench_harness::{throughput, time, zipf_beta, Cli};
+use rma_core::{Rma, RmaConfig};
+use workloads::{KeyStream, Pattern};
+
+fn alphas() -> Vec<Option<f64>> {
+    vec![None, Some(0.5), Some(1.0), Some(1.5), Some(2.0), Some(2.5), Some(3.0)]
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Single,
+    BottomUpNoRwr,
+    BottomUpRwr,
+    TopDown,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale;
+    let base_n = n / 2;
+    let batch_len = (base_n / 100).max(1);
+    let beta = zipf_beta(n);
+
+    println!(
+        "# Fig. 13b — base={base_n}, loading {} more in batches of {batch_len}, B={}, rewiring available: {}",
+        n - base_n,
+        cli.seg,
+        rewiring::rewiring_available()
+    );
+    print!("{:<18}", "loader");
+    for a in alphas() {
+        print!(" {:>11}", a.map_or("unif".into(), |a| format!("a={a}")));
+    }
+    println!();
+
+    let modes = [
+        ("RMA (singles)", Mode::Single),
+        ("Bottom up -RWR", Mode::BottomUpNoRwr),
+        ("Bottom up +RWR", Mode::BottomUpRwr),
+        ("Top down", Mode::TopDown),
+    ];
+    for (name, mode) in modes {
+        print!("{name:<18}");
+        for alpha in alphas() {
+            let pattern = match alpha {
+                None => Pattern::Uniform,
+                Some(a) => Pattern::Zipf { alpha: a, beta },
+            };
+            let rewired = mode == Mode::BottomUpRwr || mode == Mode::Single;
+            let mut rma = Rma::new(RmaConfig::with_segment_size(cli.seg).rewired(rewired));
+            // Pre-fill with uniform data.
+            let mut base_stream = KeyStream::new(Pattern::Uniform, cli.seed);
+            for _ in 0..base_n {
+                let (k, v) = base_stream.next_pair();
+                rma.insert(k, v);
+            }
+            // Load the second half in sorted batches.
+            let mut stream = KeyStream::new(pattern, cli.seed ^ 0xB);
+            let mut loaded = 0usize;
+            let (_, secs) = time(|| {
+                while loaded < n - base_n {
+                    let take = batch_len.min(n - base_n - loaded);
+                    let mut batch = stream.take_pairs(take);
+                    batch.sort_unstable();
+                    match mode {
+                        Mode::Single => {
+                            for &(k, v) in &batch {
+                                rma.insert(k, v);
+                            }
+                        }
+                        Mode::BottomUpNoRwr | Mode::BottomUpRwr => rma.load_bulk(&batch),
+                        Mode::TopDown => rma.load_bulk_top_down(&batch),
+                    }
+                    loaded += take;
+                }
+            });
+            assert_eq!(rma.len(), n);
+            print!(" {:>11.3e}", throughput(n - base_n, secs));
+        }
+        println!();
+    }
+}

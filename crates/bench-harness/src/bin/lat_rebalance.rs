@@ -1,0 +1,58 @@
+//! §V "costs of rebalances" — insertion latency percentiles and the
+//! rebalance share of insertion cost.
+//!
+//! The paper reports: p99 insertion latency under 3 µs; the maximum
+//! latency is a single resize-dominated spike; rebalances account for
+//! 2% (uniform) to ~50% (highest skew) of insertion cost. This driver
+//! reproduces those rows at the configured scale.
+
+use bench_harness::{fmt_bytes, time, zipf_beta, Cli, LatencyRecorder};
+use rma_core::{Rma, RmaConfig};
+use workloads::{KeyStream, Pattern};
+
+fn main() {
+    let cli = Cli::parse();
+    let n = cli.scale;
+    let beta = zipf_beta(n);
+    let patterns = [
+        Pattern::Uniform,
+        Pattern::Zipf { alpha: 1.5, beta },
+        Pattern::Sequential,
+    ];
+
+    println!("# Insertion latency and rebalance accounting — N={n}, B={}", cli.seg);
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "pattern", "p50[ns]", "p99[ns]", "p999[ns]", "max[ns]", "rebal", "resizes", "moved", "footprint"
+    );
+    for pattern in patterns {
+        let mut rma = Rma::new(RmaConfig::with_segment_size(cli.seg));
+        let mut stream = KeyStream::new(pattern, cli.seed);
+        let mut lat = LatencyRecorder::new();
+        for _ in 0..n {
+            let (k, v) = stream.next_pair();
+            let (_, secs) = time(|| rma.insert(k, v));
+            lat.record((secs * 1e9) as u64);
+        }
+        let stats = *rma.stats();
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>10}",
+            pattern.label(),
+            lat.quantile(0.5),
+            lat.quantile(0.99),
+            lat.quantile(0.999),
+            lat.max(),
+            stats.rebalances,
+            stats.grows + stats.shrinks,
+            stats.elements_moved,
+            fmt_bytes(rma.memory_footprint())
+        );
+        println!(
+            "{:<14} adaptive rebalances: {}, rewired commits: {}, copy commits: {}",
+            "",
+            stats.adaptive_rebalances,
+            stats.rewired_commits,
+            stats.copied_commits
+        );
+    }
+}

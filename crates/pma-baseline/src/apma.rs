@@ -1,0 +1,177 @@
+//! Hammer prediction for the Adaptive PMA (Bender & Hu, TODS 2007),
+//! re-implemented.
+//!
+//! APMA's predictor tracks where recent insertions landed and, during
+//! a rebalance, allocates *gaps* to regions proportionally to their
+//! predicted insertion pressure (subject to the density thresholds).
+//! Unlike the RMA's Detector, there are no marked intervals and no
+//! sequential-pattern counters: the prediction is purely positional —
+//! which is exactly what makes it vulnerable to the ping-pong effect
+//! on sorted sequential insertions (§IV of the RMA paper): the
+//! predictor piles gaps onto the segment that was hammered, but the
+//! *next* keys of an ascending run fall just past the compacted
+//! elements, into a region now denser than an even rebalance would
+//! have left it.
+
+/// Per-segment exponential hammer counters.
+#[derive(Debug, Clone)]
+pub struct ApmaPredictor {
+    counters: Vec<u32>,
+}
+
+impl ApmaPredictor {
+    /// A predictor for `num_segments` segments.
+    pub fn new(num_segments: usize) -> Self {
+        ApmaPredictor {
+            counters: vec![0; num_segments],
+        }
+    }
+
+    /// Number of tracked segments.
+    pub fn num_segments(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Records an insertion into `seg`.
+    #[inline]
+    pub fn on_insert(&mut self, seg: usize) {
+        self.counters[seg] = self.counters[seg].saturating_add(1);
+    }
+
+    /// Resets after a resize.
+    pub fn reset(&mut self, num_segments: usize) {
+        self.counters.clear();
+        self.counters.resize(num_segments, 0);
+    }
+
+    /// Decays the counters of a window after it was rebalanced, so
+    /// old hammering fades.
+    pub fn decay(&mut self, segs: std::ops::Range<usize>) {
+        for s in segs {
+            self.counters[s] /= 2;
+        }
+    }
+
+    /// Insertion-pressure weight of each segment in `segs`
+    /// (`1 + counter`, so unhammered segments still get a share).
+    pub fn weights(&self, segs: std::ops::Range<usize>) -> Vec<u64> {
+        segs.map(|s| 1 + self.counters[s] as u64).collect()
+    }
+}
+
+/// Computes APMA target cardinalities for a window: gaps are assigned
+/// proportionally to the hammer `weights`, then cardinalities are
+/// clamped so every segment keeps at least one free slot and no
+/// segment goes negative. `total` elements over `seg_size`-slot
+/// segments.
+pub fn apma_targets(seg_size: usize, total: usize, weights: &[u64]) -> Vec<usize> {
+    let m = weights.len();
+    debug_assert!(total <= m * seg_size);
+    let gaps_total = m * seg_size - total;
+    let weight_sum: u64 = weights.iter().sum();
+    // Initial gap assignment proportional to weight.
+    let mut gaps: Vec<usize> = weights
+        .iter()
+        .map(|&w| ((gaps_total as u128 * w as u128) / weight_sum as u128) as usize)
+        .collect();
+    // Distribute the rounding remainder to the heaviest segments.
+    let mut assigned: usize = gaps.iter().sum();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut oi = 0;
+    while assigned < gaps_total {
+        let i = order[oi % m];
+        if gaps[i] < seg_size {
+            gaps[i] += 1;
+            assigned += 1;
+        }
+        oi += 1;
+    }
+    // Clamp: a segment's gaps cannot exceed its size; push overflow
+    // gap assignments to the next segments.
+    let mut carry = 0usize;
+    for g in gaps.iter_mut() {
+        *g += carry;
+        carry = g.saturating_sub(seg_size);
+        *g = (*g).min(seg_size);
+    }
+    // Any residual carry goes right-to-left.
+    for g in gaps.iter_mut().rev() {
+        if carry == 0 {
+            break;
+        }
+        let room = seg_size - *g;
+        let take = room.min(carry);
+        *g += take;
+        carry -= take;
+    }
+    debug_assert_eq!(carry, 0);
+    let mut targets: Vec<usize> = gaps.iter().map(|&g| seg_size - g).collect();
+    // Keep one free slot per segment where possible, mirroring the
+    // RMA's progress guarantee.
+    if total <= m * (seg_size - 1) {
+        for i in 0..m {
+            while targets[i] >= seg_size {
+                let j = (0..m).min_by_key(|&j| targets[j]).expect("non-empty");
+                targets[i] -= 1;
+                targets[j] += 1;
+            }
+        }
+    }
+    debug_assert_eq!(targets.iter().sum::<usize>(), total);
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_give_even_spread() {
+        let t = apma_targets(8, 16, &[1, 1, 1, 1]);
+        assert_eq!(t, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn hammered_segment_receives_more_gaps() {
+        let t = apma_targets(8, 16, &[100, 1, 1, 1]);
+        assert!(
+            t[0] <= t[1] && t[0] < t[3],
+            "hammered segment must end sparser: {t:?}"
+        );
+        assert_eq!(t.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn targets_never_exceed_capacity() {
+        for total in [0usize, 10, 20, 28] {
+            let t = apma_targets(8, total, &[50, 1, 1, 200]);
+            assert!(t.iter().all(|&x| x <= 8), "{t:?}");
+            assert_eq!(t.iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn predictor_counts_and_decays() {
+        let mut p = ApmaPredictor::new(4);
+        for _ in 0..10 {
+            p.on_insert(2);
+        }
+        assert_eq!(p.weights(0..4), vec![1, 1, 11, 1]);
+        p.decay(0..4);
+        assert_eq!(p.weights(0..4), vec![1, 1, 6, 1]);
+        p.reset(2);
+        assert_eq!(p.num_segments(), 2);
+        assert_eq!(p.weights(0..2), vec![1, 1]);
+    }
+
+    #[test]
+    fn extreme_weight_is_clamped_by_capacity() {
+        // One segment wants all 24 gaps but can hold at most 8.
+        let t = apma_targets(8, 8, &[u32::MAX as u64, 1, 1, 1]);
+        assert_eq!(t.iter().sum::<usize>(), 8);
+        assert!(t.iter().all(|&x| x <= 8));
+        assert!(t[0] <= 1, "hammered segment should be near-empty: {t:?}");
+        assert!(t[3] >= 6, "cold segment should stay dense: {t:?}");
+    }
+}

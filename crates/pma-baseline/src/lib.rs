@@ -1,0 +1,36 @@
+//! Traditional PMA baselines (§II) and the APMA re-implementation.
+//!
+//! This crate provides the comparison points *below* the RMA in the
+//! paper's feature ladder (Fig. 14) and the stand-ins for the related
+//! work of Fig. 1a:
+//!
+//! * [`Tpma`] with [`TpmaConfig::traditional`] — the paper's
+//!   "Baseline": interleaved gaps, `O(log² C)`-sized segments, even
+//!   rebalancing, a dynamic side index of segment minima. Scans pay a
+//!   branch per slot to skip gaps; rebalances update a swath of index
+//!   entries.
+//! * `clustered: true` — the "+Clustering" rung: elements packed to
+//!   one end of each segment with a `cards` array; gap tests vanish
+//!   from scans.
+//! * [`SegmentSizing::Fixed`] — the "+Fixed-size segments" rung: the
+//!   block-sized segments of the RMA without its static index.
+//! * `indexed: false` — the PM14 design point (no index, binary
+//!   search over the gapped array itself).
+//! * [`RebalanceStrategy::Apma`] — a re-implementation of the
+//!   Adaptive PMA's uneven rebalancing (Bender & Hu, TODS 2007),
+//!   driven by per-segment hammer counters. As in the RMA paper (its
+//!   §V re-implements APMA too, the original code was never
+//!   released), this is an approximation of their scoring heuristics;
+//!   it exhibits the same ping-pong pathology on sorted sequential
+//!   insertions.
+
+mod apma;
+mod tpma;
+
+pub use apma::ApmaPredictor;
+pub use tpma::{RebalanceStrategy, SegmentSizing, Tpma, TpmaConfig};
+
+/// Key type (8-byte integer), shared across the reproduction.
+pub type Key = i64;
+/// Value type (8-byte integer), shared across the reproduction.
+pub type Value = i64;

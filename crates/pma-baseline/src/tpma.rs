@@ -1,0 +1,903 @@
+//! The Traditional PMA (§II), with configuration knobs that realise
+//! the lower rungs of the paper's feature ladder.
+//!
+//! In the traditional layout, elements are spread across each segment
+//! interleaved with gaps; an occupancy bitmap says which slots hold
+//! elements. Scans must test every slot (the branch-misprediction
+//! penalty of §I), and insertions shift elements towards the nearest
+//! gap. With `clustered: true` the segment layout packs elements to
+//! the segment start and keeps a `cards` array instead, eliminating
+//! the per-slot tests.
+//!
+//! The side index is a plain sorted array of segment minima (the
+//! "separator keys that PMAs keep on the side"); every rebalance must
+//! rewrite the separators of its whole window — the maintenance
+//! burden the RMA's static index avoids. `indexed: false` drops the
+//! side index entirely and searches the gapped array by binary search
+//! (the PM14 design point).
+
+use crate::apma::{apma_targets, ApmaPredictor};
+use crate::{Key, Value};
+
+/// How segment capacity is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentSizing {
+    /// `O(log₂ C)` slots, re-derived at each resize — the traditional
+    /// choice (rounded to a power of two).
+    Log2,
+    /// Fixed block-size segments (the RMA's choice). Must be a power
+    /// of two.
+    Fixed(usize),
+}
+
+/// Rebalancing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceStrategy {
+    /// Spread elements evenly (TPMA).
+    Even,
+    /// APMA-style uneven spread driven by hammer counters.
+    Apma,
+}
+
+/// Configuration of a [`Tpma`].
+#[derive(Debug, Clone, Copy)]
+pub struct TpmaConfig {
+    /// Segment sizing policy.
+    pub segment_sizing: SegmentSizing,
+    /// Clustered (packed) segment layout instead of interleaved gaps.
+    pub clustered: bool,
+    /// Maintain the side index of segment minima.
+    pub indexed: bool,
+    /// Even or APMA rebalancing.
+    pub rebalance: RebalanceStrategy,
+}
+
+impl TpmaConfig {
+    /// The paper's "Baseline" configuration.
+    pub fn traditional() -> Self {
+        TpmaConfig {
+            segment_sizing: SegmentSizing::Log2,
+            clustered: false,
+            indexed: true,
+            rebalance: RebalanceStrategy::Even,
+        }
+    }
+
+    /// Baseline + clustering (ladder rung 2).
+    pub fn clustered() -> Self {
+        TpmaConfig {
+            clustered: true,
+            ..Self::traditional()
+        }
+    }
+
+    /// Baseline + clustering + fixed-size segments (ladder rung 3).
+    pub fn fixed_segments(b: usize) -> Self {
+        TpmaConfig {
+            segment_sizing: SegmentSizing::Fixed(b),
+            clustered: true,
+            indexed: true,
+            rebalance: RebalanceStrategy::Even,
+        }
+    }
+
+    /// The PM14 design point: no side index.
+    pub fn pm14() -> Self {
+        TpmaConfig {
+            indexed: false,
+            ..Self::traditional()
+        }
+    }
+
+    /// TPMA with the APMA rebalancer (Fig. 11 comparator).
+    pub fn apma() -> Self {
+        TpmaConfig {
+            rebalance: RebalanceStrategy::Apma,
+            ..Self::traditional()
+        }
+    }
+}
+
+// Update-oriented thresholds, as in prior PMA implementations.
+const RHO_1: f64 = 0.08;
+const RHO_H: f64 = 0.3;
+const TAU_H: f64 = 0.75;
+const TAU_1: f64 = 1.0;
+
+/// A traditional packed memory array.
+#[derive(Debug)]
+pub struct Tpma {
+    cfg: TpmaConfig,
+    seg_size: usize,
+    keys: Vec<Key>,
+    vals: Vec<Value>,
+    /// Occupancy bitmap (interleaved layout only).
+    occ: Vec<u64>,
+    cards: Vec<u32>,
+    /// Side index: `minima[s]` separates segment `s − 1` from `s`.
+    minima: Vec<Key>,
+    len: usize,
+    predictor: Option<ApmaPredictor>,
+    /// Rebalances executed.
+    pub rebalances: u64,
+    /// Resizes executed.
+    pub resizes: u64,
+}
+
+impl Tpma {
+    /// Creates an empty PMA.
+    pub fn new(cfg: TpmaConfig) -> Self {
+        if let SegmentSizing::Fixed(b) = cfg.segment_sizing {
+            assert!(b >= 4 && b.is_power_of_two(), "bad fixed segment size");
+        }
+        let seg_size = Self::segment_size_for(&cfg, 16);
+        let capacity = seg_size;
+        let predictor = matches!(cfg.rebalance, RebalanceStrategy::Apma)
+            .then(|| ApmaPredictor::new(1));
+        Tpma {
+            cfg,
+            seg_size,
+            keys: vec![0; capacity],
+            vals: vec![0; capacity],
+            occ: vec![0; capacity.div_ceil(64)],
+            cards: vec![0],
+            minima: vec![Key::MIN],
+            len: 0,
+            predictor,
+            rebalances: 0,
+            resizes: 0,
+        }
+    }
+
+    fn segment_size_for(cfg: &TpmaConfig, capacity: usize) -> usize {
+        match cfg.segment_sizing {
+            SegmentSizing::Fixed(b) => b,
+            SegmentSizing::Log2 => {
+                let bits = usize::BITS - capacity.max(2).leading_zeros();
+                (bits as usize).next_power_of_two().max(4)
+            }
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Current segment size.
+    pub fn segment_size(&self) -> usize {
+        self.seg_size
+    }
+
+    /// Resident bytes.
+    pub fn memory_footprint(&self) -> usize {
+        self.keys.capacity() * 8
+            + self.vals.capacity() * 8
+            + self.occ.capacity() * 8
+            + self.cards.capacity() * 4
+            + self.minima.capacity() * 8
+    }
+
+    fn seg_count(&self) -> usize {
+        self.cards.len()
+    }
+
+    fn height(&self) -> usize {
+        let m = self.seg_count();
+        if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        }
+    }
+
+    fn tau(&self, level: usize, height: usize) -> f64 {
+        if height <= 1 {
+            return TAU_1;
+        }
+        let t = (level - 1) as f64 / (height - 1) as f64;
+        TAU_1 + t * (TAU_H - TAU_1)
+    }
+
+    fn rho(&self, level: usize, height: usize) -> f64 {
+        if height <= 1 {
+            return RHO_1;
+        }
+        let t = (level - 1) as f64 / (height - 1) as f64;
+        RHO_1 + t * (RHO_H - RHO_1)
+    }
+
+    // ------------------------------------------------------ bitmap --
+
+    #[inline]
+    fn occupied(&self, slot: usize) -> bool {
+        self.occ[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, slot: usize, on: bool) {
+        if on {
+            self.occ[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.occ[slot / 64] &= !(1 << (slot % 64));
+        }
+    }
+
+    // ------------------------------------------------------ search --
+
+    /// Segment whose range contains `k`.
+    fn find_segment(&self, k: Key) -> usize {
+        if self.cfg.indexed {
+            self.minima[1..].partition_point(|&m| m <= k)
+        } else {
+            // PM14: binary search on the gapped array itself.
+            let slot = self.gapped_lower_bound(k);
+            slot.min(self.capacity() - 1) / self.seg_size
+        }
+    }
+
+    /// Leftmost segment that can contain an element `>= k` (for
+    /// lower-bound scans; exact-match search routes right instead).
+    fn find_segment_lb(&self, k: Key) -> usize {
+        if self.cfg.indexed {
+            self.minima[1..].partition_point(|&m| m < k)
+        } else {
+            let slot = self.gapped_lower_bound(k);
+            slot.min(self.capacity() - 1) / self.seg_size
+        }
+    }
+
+    /// First occupied slot holding a key `>= k`, or `capacity()`.
+    fn gapped_lower_bound(&self, k: Key) -> usize {
+        let (mut lo, mut hi) = (0usize, self.capacity());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match (mid..hi).find(|&s| self.occupied(s)) {
+                None => hi = mid,
+                Some(r) => {
+                    if self.keys[r] < k {
+                        lo = r + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+        }
+        (lo..self.capacity())
+            .find(|&s| self.occupied(s))
+            .unwrap_or(self.capacity())
+    }
+
+    /// Occupied slots of segment `seg`, in slot (= key) order.
+    fn seg_slots(&self, seg: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = seg * self.seg_size;
+        if self.cfg.clustered {
+            base..base + self.cards[seg] as usize
+        } else {
+            base..base + self.seg_size
+        }
+        .filter(move |&s| self.cfg.clustered || self.occupied(s))
+    }
+
+    /// Returns a value stored under `k`, if any.
+    pub fn get(&self, k: Key) -> Option<Value> {
+        let seg = self.find_segment(k);
+        for s in self.seg_slots(seg) {
+            if self.keys[s] == k {
+                return Some(self.vals[s]);
+            }
+            if self.keys[s] > k {
+                return None;
+            }
+        }
+        None
+    }
+
+    // -------------------------------------------------------- scan --
+
+    /// Sums up to `count` values from the first key `>= start`. The
+    /// interleaved layout pays a per-slot occupancy branch; the
+    /// clustered layout runs dense loops.
+    pub fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
+        if self.len == 0 || count == 0 {
+            return (0, 0);
+        }
+        let mut visited = 0usize;
+        let mut sum = 0i64;
+        if self.cfg.clustered {
+            let mut seg = self.find_segment_lb(start);
+            let mut pos = self.clustered_lower_bound(seg, start);
+            while visited < count && seg < self.seg_count() {
+                let base = seg * self.seg_size;
+                let card = self.cards[seg] as usize;
+                let take = (card - pos).min(count - visited);
+                for &v in &self.vals[base + pos..base + pos + take] {
+                    sum = sum.wrapping_add(v);
+                }
+                visited += take;
+                seg += 1;
+                pos = 0;
+            }
+        } else {
+            let mut slot = if self.cfg.indexed {
+                let seg = self.find_segment_lb(start);
+                let base = seg * self.seg_size;
+                (base..self.capacity())
+                    .find(|&s| self.occupied(s) && self.keys[s] >= start)
+                    .unwrap_or(self.capacity())
+            } else {
+                self.gapped_lower_bound(start)
+            };
+            while visited < count && slot < self.capacity() {
+                if self.occupied(slot) {
+                    sum = sum.wrapping_add(self.vals[slot]);
+                    visited += 1;
+                }
+                slot += 1;
+            }
+        }
+        (visited, sum)
+    }
+
+    fn clustered_lower_bound(&self, seg: usize, k: Key) -> usize {
+        let base = seg * self.seg_size;
+        let card = self.cards[seg] as usize;
+        self.keys[base..base + card].partition_point(|&x| x < k)
+    }
+
+    /// Iterates over all elements in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        (0..self.seg_count()).flat_map(move |seg| {
+            self.seg_slots(seg).map(move |s| (self.keys[s], self.vals[s]))
+        })
+    }
+
+    // ------------------------------------------------------ insert --
+
+    /// Inserts `(k, v)`, keeping duplicates.
+    pub fn insert(&mut self, k: Key, v: Value) {
+        let mut seg = self.find_segment(k);
+        if self.cards[seg] as usize == self.seg_size {
+            self.rebalance_for_insert(seg);
+            seg = self.find_segment(k);
+            debug_assert!((self.cards[seg] as usize) < self.seg_size);
+        }
+        if self.cfg.clustered {
+            self.insert_clustered(seg, k, v);
+        } else {
+            self.insert_interleaved(seg, k, v);
+        }
+        self.cards[seg] += 1;
+        if let Some(p) = &mut self.predictor {
+            p.on_insert(seg);
+        }
+        self.len += 1;
+    }
+
+    fn insert_clustered(&mut self, seg: usize, k: Key, v: Value) {
+        let base = seg * self.seg_size;
+        let card = self.cards[seg] as usize;
+        let pos = self.clustered_lower_bound(seg, k);
+        self.keys.copy_within(base + pos..base + card, base + pos + 1);
+        self.vals.copy_within(base + pos..base + card, base + pos + 1);
+        self.keys[base + pos] = k;
+        self.vals[base + pos] = v;
+        if pos == 0 && self.cfg.indexed && seg > 0 {
+            self.minima[seg] = k;
+        }
+    }
+
+    fn insert_interleaved(&mut self, seg: usize, k: Key, v: Value) {
+        let base = seg * self.seg_size;
+        let end = base + self.seg_size;
+        // Slot of the first occupied element with key >= k.
+        let idx = (base..end)
+            .find(|&s| self.occupied(s) && self.keys[s] >= k)
+            .unwrap_or(end);
+        // Prefer shifting right towards the nearest free slot.
+        if let Some(gap) = (idx..end).find(|&s| !self.occupied(s)) {
+            // Slots [idx, gap) are occupied; shift them one right.
+            for s in (idx..gap).rev() {
+                self.keys[s + 1] = self.keys[s];
+                self.vals[s + 1] = self.vals[s];
+            }
+            if gap > idx {
+                self.set_occupied(gap, true);
+            } else {
+                self.set_occupied(idx, true);
+            }
+            self.keys[idx.min(gap)] = k;
+            self.vals[idx.min(gap)] = v;
+            if gap > idx {
+                // idx stays occupied; nothing else to flip.
+            }
+        } else {
+            // Shift left: find the nearest free slot before idx.
+            let gap = (base..idx)
+                .rev()
+                .find(|&s| !self.occupied(s))
+                .expect("segment has a free slot");
+            for s in gap..idx - 1 {
+                self.keys[s] = self.keys[s + 1];
+                self.vals[s] = self.vals[s + 1];
+            }
+            self.keys[idx - 1] = k;
+            self.vals[idx - 1] = v;
+            self.set_occupied(gap, true);
+        }
+        if self.cfg.indexed && seg > 0 {
+            // Maintain the separator when the minimum changed.
+            if k < self.minima[seg] || self.cards[seg] == 0 {
+                self.minima[seg] = k;
+            }
+        }
+    }
+
+    // ------------------------------------------------------ delete --
+
+    /// Removes one element with key exactly `k`.
+    pub fn remove(&mut self, k: Key) -> Option<Value> {
+        if self.len == 0 {
+            return None;
+        }
+        let seg = self.find_segment(k);
+        let slot = self.seg_slots(seg).find(|&s| self.keys[s] == k)?;
+        Some(self.remove_slot(seg, slot).1)
+    }
+
+    /// Removes the first element `>= k` (or the maximum); the mixed
+    /// workload's delete operator. `None` only when empty.
+    pub fn remove_successor(&mut self, k: Key) -> Option<(Key, Value)> {
+        if self.len == 0 {
+            return None;
+        }
+        let seg = self.find_segment_lb(k);
+        for s in seg..self.seg_count() {
+            let hit = self.seg_slots(s).find(|&x| self.keys[x] >= k);
+            if let Some(slot) = hit {
+                return Some(self.remove_slot(s, slot));
+            }
+        }
+        // Fall back to the global maximum.
+        let s = (0..self.seg_count())
+            .rev()
+            .find(|&s| self.cards[s] > 0)
+            .expect("non-empty");
+        let slot = self.seg_slots(s).last().expect("non-empty segment");
+        Some(self.remove_slot(s, slot))
+    }
+
+    fn remove_slot(&mut self, seg: usize, slot: usize) -> (Key, Value) {
+        let out = (self.keys[slot], self.vals[slot]);
+        if self.cfg.clustered {
+            let base = seg * self.seg_size;
+            let card = self.cards[seg] as usize;
+            self.keys.copy_within(slot + 1..base + card, slot);
+            self.vals.copy_within(slot + 1..base + card, slot);
+            if self.cfg.indexed && seg > 0 && slot == base && card > 1 {
+                self.minima[seg] = self.keys[base];
+            }
+        } else {
+            self.set_occupied(slot, false);
+            if self.cfg.indexed && seg > 0 && self.cards[seg] > 1 {
+                let base = seg * self.seg_size;
+                if let Some(first) = (base..base + self.seg_size).find(|&s| self.occupied(s)) {
+                    self.minima[seg] = self.keys[first];
+                }
+            }
+        }
+        self.cards[seg] -= 1;
+        self.len -= 1;
+        self.after_delete(seg);
+        out
+    }
+
+    // ----------------------------------------- rebalance machinery --
+
+    fn rebalance_for_insert(&mut self, seg: usize) {
+        let m = self.seg_count();
+        let height = self.height();
+        let mut w = 2usize;
+        let mut level = 2usize;
+        while level <= height {
+            let start = (seg / w) * w;
+            let end = (start + w).min(m);
+            let cap = (end - start) * self.seg_size;
+            let cards: usize = self.cards[start..end].iter().map(|&c| c as usize).sum();
+            let max = ((self.tau(level, height) * cap as f64).floor() as usize)
+                .min((end - start) * (self.seg_size - 1));
+            if cards <= max {
+                self.rebalance_window(start..end);
+                return;
+            }
+            w *= 2;
+            level += 1;
+        }
+        self.resize(self.capacity() * 2);
+    }
+
+    fn after_delete(&mut self, seg: usize) {
+        let height = self.height();
+        let min_seg = (self.rho(1, height) * self.seg_size as f64).ceil() as usize;
+        if self.cards[seg] as usize >= min_seg {
+            return;
+        }
+        let m = self.seg_count();
+        let mut w = 2usize;
+        let mut level = 2usize;
+        while level <= height {
+            let start = (seg / w) * w;
+            let end = (start + w).min(m);
+            let cap = (end - start) * self.seg_size;
+            let cards: usize = self.cards[start..end].iter().map(|&c| c as usize).sum();
+            if cards >= (self.rho(level, height) * cap as f64).ceil() as usize {
+                self.rebalance_window(start..end);
+                return;
+            }
+            w *= 2;
+            level += 1;
+        }
+        if m > 1 {
+            self.resize(self.capacity() / 2);
+        }
+    }
+
+    fn window_targets(&mut self, segs: std::ops::Range<usize>, total: usize) -> Vec<usize> {
+        let m = segs.len();
+        let b = self.seg_size;
+        match (&self.cfg.rebalance, &self.predictor) {
+            (RebalanceStrategy::Apma, Some(_)) => {
+                let p = self.predictor.as_ref().expect("apma predictor");
+                let weights = p.weights(segs.clone());
+                let t = apma_targets(b, total, &weights);
+                self.predictor.as_mut().expect("apma").decay(segs);
+                t
+            }
+            _ => {
+                let base = total / m;
+                let rem = total % m;
+                (0..m).map(|i| base + usize::from(i < rem)).collect()
+            }
+        }
+    }
+
+    fn rebalance_window(&mut self, segs: std::ops::Range<usize>) {
+        self.rebalances += 1;
+        let total: usize = self.cards[segs.clone()].iter().map(|&c| c as usize).sum();
+        let targets = self.window_targets(segs.clone(), total);
+        // Gather.
+        let mut sk = Vec::with_capacity(total);
+        let mut sv = Vec::with_capacity(total);
+        for s in segs.clone() {
+            for slot in self.seg_slots(s) {
+                sk.push(self.keys[slot]);
+                sv.push(self.vals[slot]);
+            }
+        }
+        // Scatter.
+        self.scatter(segs.clone(), &targets, &sk, &sv);
+        self.refresh_minima(segs);
+    }
+
+    /// Writes `total` gathered elements back into `segs` with the
+    /// given per-segment targets, in the configured layout.
+    fn scatter(
+        &mut self,
+        segs: std::ops::Range<usize>,
+        targets: &[usize],
+        sk: &[Key],
+        sv: &[Value],
+    ) {
+        let b = self.seg_size;
+        let mut cursor = 0usize;
+        for (i, s) in segs.clone().enumerate() {
+            let base = s * b;
+            let t = targets[i];
+            if self.cfg.clustered {
+                self.keys[base..base + t].copy_from_slice(&sk[cursor..cursor + t]);
+                self.vals[base..base + t].copy_from_slice(&sv[cursor..cursor + t]);
+            } else {
+                // Interleave: element j of the segment goes to slot
+                // floor(j * b / t), spreading gaps evenly.
+                for slot in base..base + b {
+                    self.set_occupied(slot, false);
+                }
+                for j in 0..t {
+                    let slot = base + j * b / t.max(1);
+                    // Slots are strictly increasing since t <= b.
+                    self.keys[slot] = sk[cursor + j];
+                    self.vals[slot] = sv[cursor + j];
+                    self.set_occupied(slot, true);
+                }
+            }
+            self.cards[s] = t as u32;
+            cursor += t;
+        }
+    }
+
+    fn refresh_minima(&mut self, segs: std::ops::Range<usize>) {
+        if !self.cfg.indexed {
+            return;
+        }
+        let window_max = segs
+            .clone()
+            .rev()
+            .filter(|&s| self.cards[s] > 0)
+            .flat_map(|s| self.seg_slots(s).last())
+            .next()
+            .map(|slot| self.keys[slot]);
+        let Some(window_max) = window_max else { return };
+        let mut next_sep = window_max.saturating_add(1);
+        for s in segs.rev() {
+            if self.cards[s] > 0 {
+                let first = self.seg_slots(s).next().expect("non-empty");
+                next_sep = self.keys[first];
+            }
+            if s > 0 {
+                self.minima[s] = next_sep;
+            }
+        }
+    }
+
+    fn resize(&mut self, new_capacity: usize) {
+        self.resizes += 1;
+        let new_seg_size = Self::segment_size_for(&self.cfg, new_capacity);
+        let new_capacity = new_capacity.max(new_seg_size);
+        let new_segs = (new_capacity / new_seg_size).max(1);
+        let new_capacity = new_segs * new_seg_size;
+        debug_assert!(self.len <= new_capacity);
+
+        let mut sk = Vec::with_capacity(self.len);
+        let mut sv = Vec::with_capacity(self.len);
+        for s in 0..self.seg_count() {
+            for slot in self.seg_slots(s) {
+                sk.push(self.keys[slot]);
+                sv.push(self.vals[slot]);
+            }
+        }
+        self.keys = vec![0; new_capacity];
+        self.vals = vec![0; new_capacity];
+        self.occ = vec![0; new_capacity.div_ceil(64)];
+        self.cards = vec![0; new_segs];
+        self.seg_size = new_seg_size;
+        self.minima = vec![Key::MIN; new_segs];
+        let base = self.len / new_segs;
+        let rem = self.len % new_segs;
+        let targets: Vec<usize> = (0..new_segs)
+            .map(|i| base + usize::from(i < rem))
+            .collect();
+        self.scatter(0..new_segs, &targets, &sk, &sv);
+        self.refresh_minima(0..new_segs);
+        if let Some(p) = &mut self.predictor {
+            p.reset(new_segs);
+        }
+    }
+
+    // -------------------------------------------------- validation --
+
+    /// Structural check; test helper.
+    pub fn check_invariants(&self) {
+        let mut prev: Option<Key> = None;
+        let mut count = 0usize;
+        for s in 0..self.seg_count() {
+            let mut seg_count = 0usize;
+            for slot in self.seg_slots(s) {
+                if let Some(p) = prev {
+                    assert!(p <= self.keys[slot], "out of order at slot {slot}");
+                }
+                prev = Some(self.keys[slot]);
+                count += 1;
+                seg_count += 1;
+            }
+            assert_eq!(seg_count, self.cards[s] as usize, "cards mismatch at {s}");
+        }
+        assert_eq!(count, self.len, "len mismatch");
+        if self.cfg.indexed {
+            let mut prev_sep = Key::MIN;
+            for s in 1..self.seg_count() {
+                assert!(self.minima[s] >= prev_sep, "minima not monotone at {s}");
+                prev_sep = self.minima[s];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_configs() -> Vec<TpmaConfig> {
+        vec![
+            TpmaConfig::traditional(),
+            TpmaConfig::clustered(),
+            TpmaConfig::fixed_segments(16),
+            TpmaConfig::pm14(),
+            TpmaConfig::apma(),
+        ]
+    }
+
+    #[test]
+    fn insert_get_across_all_configs() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            for k in [50i64, 10, 90, 30, 70, 20, 80, 40, 60, 0] {
+                p.insert(k, k * 2);
+            }
+            p.check_invariants();
+            for k in [0i64, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
+                assert_eq!(p.get(k), Some(k * 2), "{cfg:?} get {k}");
+            }
+            assert_eq!(p.get(55), None);
+        }
+    }
+
+    #[test]
+    fn thousands_of_random_inserts() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            let mut x = 7u64;
+            for i in 0..5000i64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                p.insert((x >> 40) as i64, i);
+            }
+            p.check_invariants();
+            assert_eq!(p.len(), 5000);
+            let keys: Vec<i64> = p.iter().map(|(k, _)| k).collect();
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "{cfg:?}");
+            assert!(p.resizes > 0);
+        }
+    }
+
+    #[test]
+    fn sequential_inserts_all_configs() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            for k in 0..3000i64 {
+                p.insert(k, k);
+            }
+            p.check_invariants();
+            assert_eq!(p.len(), 3000, "{cfg:?}");
+            assert_eq!(p.get(2999), Some(2999));
+        }
+    }
+
+    #[test]
+    fn scan_matches_content() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            for k in 0..2000i64 {
+                p.insert(k, 1);
+            }
+            let (n, sum) = p.sum_range(500, 300);
+            assert_eq!((n, sum), (300, 300), "{cfg:?}");
+            let (n, _) = p.sum_range(1990, 100);
+            assert_eq!(n, 10);
+        }
+    }
+
+    #[test]
+    fn removals_and_shrink() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            for k in 0..2000i64 {
+                p.insert(k, k);
+            }
+            for k in 0..1900i64 {
+                assert_eq!(p.remove(k), Some(k), "{cfg:?} remove {k}");
+            }
+            p.check_invariants();
+            assert_eq!(p.len(), 100);
+            assert!(p.resizes >= 2, "{cfg:?} expected shrink resizes");
+        }
+    }
+
+    #[test]
+    fn remove_successor_semantics() {
+        let mut p = Tpma::new(TpmaConfig::traditional());
+        for k in [10i64, 20, 30] {
+            p.insert(k, k);
+        }
+        assert_eq!(p.remove_successor(15), Some((20, 20)));
+        assert_eq!(p.remove_successor(100), Some((30, 30)));
+        assert_eq!(p.remove_successor(0), Some((10, 10)));
+        assert_eq!(p.remove_successor(0), None);
+    }
+
+    #[test]
+    fn mixed_churn_against_oracle() {
+        use std::collections::BTreeMap;
+        for cfg in [TpmaConfig::traditional(), TpmaConfig::clustered()] {
+            let mut p = Tpma::new(cfg);
+            let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
+            let mut x = 5u64;
+            for step in 0..10_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = ((x >> 53) & 0x3FF) as i64;
+                if step % 3 == 2 {
+                    let want = oracle
+                        .range(k..)
+                        .next()
+                        .map(|(&kk, _)| kk)
+                        .or_else(|| oracle.keys().next_back().copied());
+                    let got = p.remove_successor(k).map(|(kk, _)| kk);
+                    assert_eq!(got, want, "{cfg:?} step {step}");
+                    if let Some(kk) = want {
+                        let c = oracle.get_mut(&kk).expect("key");
+                        *c -= 1;
+                        if *c == 0 {
+                            oracle.remove(&kk);
+                        }
+                    }
+                } else {
+                    p.insert(k, step as i64);
+                    *oracle.entry(k).or_insert(0) += 1;
+                }
+            }
+            p.check_invariants();
+        }
+    }
+
+    #[test]
+    fn duplicates_supported() {
+        for cfg in all_configs() {
+            let mut p = Tpma::new(cfg);
+            for i in 0..300 {
+                p.insert(5, i);
+            }
+            p.check_invariants();
+            assert_eq!(p.len(), 300, "{cfg:?}");
+            assert!(p.get(5).is_some());
+        }
+    }
+
+    #[test]
+    fn gapped_binary_search_agrees_with_linear() {
+        let mut p = Tpma::new(TpmaConfig::pm14());
+        for k in (0..1000i64).step_by(7) {
+            p.insert(k, k);
+        }
+        for probe in 0..1005i64 {
+            let expect = p.iter().find(|&(k, _)| k >= probe).map(|(k, _)| k);
+            let got = {
+                let slot = p.gapped_lower_bound(probe);
+                (slot < p.capacity()).then(|| p.keys[slot])
+            };
+            assert_eq!(got, expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn apma_rebalances_unevenly_under_hammering() {
+        let mut p = Tpma::new(TpmaConfig::apma());
+        for k in 0..5000i64 {
+            p.insert(k, k); // sorted hammering at the array tail
+        }
+        p.check_invariants();
+        assert_eq!(p.len(), 5000);
+    }
+
+    #[test]
+    fn log2_segment_size_tracks_capacity() {
+        let mut p = Tpma::new(TpmaConfig::traditional());
+        let small = p.segment_size();
+        for k in 0..100_000i64 {
+            p.insert(k, k);
+        }
+        assert!(p.segment_size() >= small);
+        assert!(p.segment_size() <= 64, "log2 sizing stays small");
+    }
+}

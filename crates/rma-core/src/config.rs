@@ -1,0 +1,148 @@
+//! Construction-time configuration of an [`crate::Rma`].
+
+use crate::detector::DetectorConfig;
+use crate::thresholds::Thresholds;
+
+/// Whether rebalances/resizes use true memory rewiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewiringMode {
+    /// Rewire pages via `memfd` + `mmap(MAP_FIXED)` when the window is
+    /// at least one logical page; smaller windows fall back to the
+    /// copy path, as in the paper. `page_bytes` is the logical page
+    /// size (the paper uses 2 MB huge pages).
+    Enabled {
+        /// Logical page size in bytes (power of two).
+        page_bytes: usize,
+    },
+    /// Always use the two-copy auxiliary-buffer path (the paper's
+    /// `-RWR` ablation).
+    Disabled,
+}
+
+/// Configuration of the Rewired Memory Array.
+#[derive(Debug, Clone, Copy)]
+pub struct RmaConfig {
+    /// Segment capacity `B`, in elements. The paper's evaluation fixes
+    /// `B = 128` except where it sweeps the parameter (Fig. 10).
+    pub segment_size: usize,
+    /// Maximum separator keys per static-index node (the paper's
+    /// micro-benchmarked optimum is 64).
+    pub index_fanout: usize,
+    /// Density thresholds + resize policy (UT or ST preset).
+    pub thresholds: Thresholds,
+    /// Memory rewiring mode for rebalances and resizes.
+    pub rewiring: RewiringMode,
+    /// Adaptive rebalancing: `Some` enables the Detector and the
+    /// adaptive algorithm of §IV; `None` always rebalances evenly.
+    pub adaptive: Option<DetectorConfig>,
+    /// Total virtual reservation per storage column, in bytes. Bounds
+    /// the maximum capacity; the paper reserves 2^37 bytes.
+    pub reserve_bytes: usize,
+}
+
+impl Default for RmaConfig {
+    fn default() -> Self {
+        RmaConfig {
+            segment_size: 128,
+            index_fanout: 64,
+            thresholds: Thresholds::update_oriented(),
+            rewiring: RewiringMode::Enabled {
+                page_bytes: 2 << 20,
+            },
+            adaptive: Some(DetectorConfig::default()),
+            reserve_bytes: 1 << 33,
+        }
+    }
+}
+
+impl RmaConfig {
+    /// Default configuration with segment capacity `b`.
+    pub fn with_segment_size(b: usize) -> Self {
+        RmaConfig {
+            segment_size: b,
+            ..Default::default()
+        }
+    }
+
+    /// Switches off both rewiring and adaptive rebalancing — the
+    /// "static index" rung of the Fig. 14 feature ladder.
+    pub fn plain(mut self) -> Self {
+        self.rewiring = RewiringMode::Disabled;
+        self.adaptive = None;
+        self
+    }
+
+    /// Enables/disables adaptive rebalancing in place.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = if on { Some(DetectorConfig::default()) } else { None };
+        self
+    }
+
+    /// Enables/disables rewiring in place (the paper's 2 MiB pages).
+    pub fn rewired(mut self, on: bool) -> Self {
+        self.rewiring = if on {
+            RewiringMode::Enabled {
+                page_bytes: 2 << 20,
+            }
+        } else {
+            RewiringMode::Disabled
+        };
+        self
+    }
+
+    /// Replaces the threshold preset.
+    pub fn with_thresholds(mut self, t: Thresholds) -> Self {
+        self.thresholds = t;
+        self
+    }
+
+    /// Validates parameter sanity; called by [`crate::Rma::new`].
+    pub fn validate(&self) {
+        assert!(self.segment_size >= 4, "segment size must be >= 4");
+        assert!(
+            self.segment_size.is_power_of_two(),
+            "segment size must be a power of two"
+        );
+        assert!(self.index_fanout >= 2, "index fanout must be >= 2");
+        self.thresholds.validate();
+        if let RewiringMode::Enabled { page_bytes } = self.rewiring {
+            assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+            assert!(page_bytes >= 4096, "page size must be >= 4 KiB");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        RmaConfig::default().validate();
+    }
+
+    #[test]
+    fn builder_combinators() {
+        let c = RmaConfig::with_segment_size(256)
+            .adaptive(false)
+            .rewired(false)
+            .with_thresholds(Thresholds::scan_oriented());
+        c.validate();
+        assert_eq!(c.segment_size, 256);
+        assert!(c.adaptive.is_none());
+        assert_eq!(c.rewiring, RewiringMode::Disabled);
+    }
+
+    #[test]
+    fn plain_strips_features() {
+        let c = RmaConfig::default().plain();
+        assert!(c.adaptive.is_none());
+        assert_eq!(c.rewiring, RewiringMode::Disabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_segment_panics() {
+        RmaConfig::with_segment_size(100).validate();
+    }
+}

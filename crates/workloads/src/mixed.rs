@@ -1,0 +1,118 @@
+//! The mixed insert/delete workload of Fig. 11b.
+//!
+//! The paper keeps the cardinality of the structure pinned at `N`:
+//! "sequences of γ = 1024 contiguous insertions are interleaved by γ
+//! contiguous deletions. The distributions are initialised with
+//! different seeds for insertions and deletions. Consequently,
+//! insertions and deletions hammer different portions of the array."
+//!
+//! Deletions draw a key from their own stream and remove its successor
+//! in the structure (`delete ≥ key`), which guarantees every deletion
+//! removes exactly one element, so the cardinality really stays
+//! constant — the paper does not spell out its deletion operator, and
+//! this is the standard way to realise it (documented in DESIGN.md).
+
+use crate::{Key, KeyStream, Pattern, Value};
+
+/// One operation of the mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the pair.
+    Insert(Key, Value),
+    /// Remove the smallest element with key `>= Key` (successor
+    /// deletion; removes the maximum if no such element exists).
+    DeleteSuccessor(Key),
+}
+
+/// Generator of alternating γ-insert / γ-delete rounds.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    insert_stream: KeyStream,
+    delete_stream: KeyStream,
+    gamma: usize,
+    /// Position within the current 2γ round.
+    phase: usize,
+}
+
+impl MixedWorkload {
+    /// Creates a mixed workload over `pattern` with round length
+    /// `gamma`; insertions and deletions use independent seeds.
+    pub fn new(pattern: Pattern, gamma: usize, insert_seed: u64, delete_seed: u64) -> Self {
+        assert!(gamma > 0);
+        MixedWorkload {
+            insert_stream: KeyStream::new(pattern, insert_seed),
+            delete_stream: KeyStream::new(pattern, delete_seed),
+            gamma,
+            phase: 0,
+        }
+    }
+
+    /// Next operation: γ inserts, then γ successor-deletes, repeating.
+    #[inline]
+    pub fn next_op(&mut self) -> Op {
+        let op = if self.phase < self.gamma {
+            let (k, v) = self.insert_stream.next_pair();
+            Op::Insert(k, v)
+        } else {
+            Op::DeleteSuccessor(self.delete_stream.next_key())
+        };
+        self.phase = (self.phase + 1) % (2 * self.gamma);
+        op
+    }
+
+    /// Collects the next `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// Round length γ.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_alternate_gamma_inserts_then_gamma_deletes() {
+        let mut w = MixedWorkload::new(Pattern::Uniform, 4, 1, 2);
+        let ops = w.take_ops(16);
+        for (i, op) in ops.iter().enumerate() {
+            let in_insert_phase = (i % 8) < 4;
+            match op {
+                Op::Insert(..) => assert!(in_insert_phase, "op {i} should be a delete"),
+                Op::DeleteSuccessor(..) => {
+                    assert!(!in_insert_phase, "op {i} should be an insert")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_numbers_of_inserts_and_deletes_over_full_rounds() {
+        let mut w = MixedWorkload::new(Pattern::Uniform, 8, 3, 4);
+        let ops = w.take_ops(8 * 2 * 10);
+        let ins = ops.iter().filter(|o| matches!(o, Op::Insert(..))).count();
+        assert_eq!(ins, ops.len() / 2);
+    }
+
+    #[test]
+    fn insert_and_delete_streams_are_independent() {
+        let mut w = MixedWorkload::new(Pattern::Uniform, 1, 7, 8);
+        let ops = w.take_ops(2);
+        let (ik, dk) = match (&ops[0], &ops[1]) {
+            (Op::Insert(k, _), Op::DeleteSuccessor(d)) => (*k, *d),
+            other => panic!("unexpected ops {other:?}"),
+        };
+        assert_ne!(ik, dk);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = MixedWorkload::new(Pattern::Sequential, 3, 1, 2);
+        let mut b = MixedWorkload::new(Pattern::Sequential, 3, 1, 2);
+        assert_eq!(a.take_ops(50), b.take_ops(50));
+    }
+}

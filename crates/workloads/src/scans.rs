@@ -1,0 +1,98 @@
+//! Range-scan workload generation.
+//!
+//! The paper's scan experiments (Fig. 1, 10c) perform "random
+//! contiguous scans" covering a fixed fraction of the data structure:
+//! a random start key is drawn and the scan sums values until it has
+//! visited `fraction · N` elements. We generate the start positions as
+//! ranks so that drivers can translate them into start keys of the
+//! structure under test.
+
+use crate::SplitMix64;
+
+/// Generator of random contiguous scan ranges, expressed as
+/// `(start_rank, element_count)` pairs over a structure of `n`
+/// elements.
+#[derive(Debug, Clone)]
+pub struct ScanRanges {
+    rng: SplitMix64,
+    n: u64,
+    count: u64,
+}
+
+impl ScanRanges {
+    /// Scans over `n` elements covering `fraction` (0 < fraction ≤ 1)
+    /// of them each.
+    pub fn new(n: u64, fraction: f64, seed: u64) -> Self {
+        assert!(n > 0);
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction}");
+        let count = ((n as f64 * fraction).round() as u64).clamp(1, n);
+        ScanRanges {
+            rng: SplitMix64::new(seed),
+            n,
+            count,
+        }
+    }
+
+    /// Number of elements visited per scan.
+    pub fn elements_per_scan(&self) -> u64 {
+        self.count
+    }
+
+    /// Next scan: the start rank (0-based) and the number of elements
+    /// to visit. The start is drawn so the range never runs off the
+    /// end of the structure.
+    #[inline]
+    pub fn next_range(&mut self) -> (u64, u64) {
+        let max_start = self.n - self.count;
+        let start = if max_start == 0 {
+            0
+        } else {
+            self.rng.next_below(max_start + 1)
+        };
+        (start, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_fit_within_structure() {
+        let mut s = ScanRanges::new(1000, 0.1, 1);
+        for _ in 0..1000 {
+            let (start, len) = s.next_range();
+            assert!(start + len <= 1000);
+            assert_eq!(len, 100);
+        }
+    }
+
+    #[test]
+    fn full_scan_starts_at_zero() {
+        let mut s = ScanRanges::new(500, 1.0, 2);
+        let (start, len) = s.next_range();
+        assert_eq!((start, len), (0, 500));
+    }
+
+    #[test]
+    fn tiny_fraction_still_visits_one_element() {
+        let mut s = ScanRanges::new(10, 0.001, 3);
+        let (_, len) = s.next_range();
+        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn starts_are_spread_out() {
+        let mut s = ScanRanges::new(1_000_000, 0.01, 4);
+        let starts: Vec<u64> = (0..100).map(|_| s.next_range().0).collect();
+        let min = *starts.iter().min().unwrap();
+        let max = *starts.iter().max().unwrap();
+        assert!(max - min > 100_000, "starts not spread: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let _ = ScanRanges::new(10, 0.0, 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Zipf-distributed rank sampler.
+//!
+//! The paper's skewed experiments (Fig. 1, 11, 13b, 14) draw keys from
+//! a "Zipfian distribution of range β = 2^27", sweeping the skew
+//! exponent α from 0.5 to 3. Sampling by inverting the CDF naively is
+//! O(β) per draw; we instead implement *rejection-inversion* (Hörmann
+//! & Derflinger 1996), the same O(1) scheme used by production Zipf
+//! samplers, written from scratch here.
+//!
+//! Rank 1 is the most frequent outcome; probabilities decay as
+//! `P(k) ∝ k^-α`.
+
+use crate::SplitMix64;
+
+/// O(1) Zipf sampler over ranks `1..=n` with exponent `alpha > 0`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// `H(1.5) - 1`, lower endpoint of the inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`, upper endpoint of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold `s = 1 - H_inv(H(1.5) - 1.5^-α)`.
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler for ranks `1..=n`. Panics if `n == 0` or
+    /// `alpha <= 0` (use a uniform generator for the unskewed case).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "zipf range must be non-empty");
+        assert!(alpha > 0.0, "zipf exponent must be positive");
+        let mut z = Zipf {
+            n,
+            alpha,
+            h_x1: 0.0,
+            h_n: 0.0,
+            s: 0.0,
+        };
+        z.h_x1 = z.h(1.5) - 1.0;
+        z.h_n = z.h(n as f64 + 0.5);
+        z.s = 1.0 - z.h_inv(z.h(1.5) - (1.5f64).powf(-alpha));
+        z
+    }
+
+    /// `H(x) = ∫ t^-α dt`, the antiderivative used for inversion.
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        if (self.alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.alpha) - 1.0) / (1.0 - self.alpha)
+        }
+    }
+
+    /// Inverse of [`Zipf::h`].
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.alpha - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.alpha)).powf(1.0 / (1.0 - self.alpha))
+        }
+    }
+
+    /// Draws one rank in `1..=n`.
+    #[inline]
+    pub fn sample(&mut self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.next_f64() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            // Clamp against floating-point excursions.
+            let k = x.clamp(1.0, self.n as f64).round();
+            if k - x <= self.s || u >= self.h(k + 0.5) - k.powf(-self.alpha) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// The rank range of the sampler.
+    pub fn range(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent of the sampler.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(alpha: f64, n: u64, draws: usize) -> Vec<u64> {
+        let mut z = Zipf::new(n, alpha);
+        let mut rng = SplitMix64::new(0xDEC0DE);
+        let mut h = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipf::new(1000, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_is_most_frequent() {
+        for &alpha in &[0.5, 1.0, 1.5, 2.0, 3.0] {
+            let h = histogram(alpha, 100, 200_000);
+            let max = h.iter().max().unwrap();
+            assert_eq!(&h[1], max, "alpha={alpha}: rank 1 not the mode");
+        }
+    }
+
+    #[test]
+    fn frequency_ratio_matches_power_law() {
+        // P(1)/P(2) should be ≈ 2^α.
+        for &alpha in &[1.0, 2.0] {
+            let h = histogram(alpha, 1 << 14, 2_000_000);
+            let ratio = h[1] as f64 / h[2] as f64;
+            let expect = 2f64.powf(alpha);
+            assert!(
+                (ratio / expect - 1.0).abs() < 0.1,
+                "alpha={alpha}: ratio {ratio}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_alpha_concentrates_more_mass_on_head() {
+        let draws = 500_000;
+        let head_mass = |alpha: f64| -> f64 {
+            let h = histogram(alpha, 1 << 12, draws);
+            h[1..=10].iter().sum::<u64>() as f64 / draws as f64
+        };
+        let low = head_mass(0.5);
+        let high = head_mass(2.0);
+        assert!(high > low + 0.3, "head mass low={low} high={high}");
+    }
+
+    #[test]
+    fn alpha_one_branch_is_exercised() {
+        let h = histogram(1.0, 1 << 10, 100_000);
+        assert!(h[1] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn zero_range_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn non_positive_alpha_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The streaming scenario of §III "Bulk loading" (after SLH17/Toss et
+//! al.): the array's cardinality stays constant while batches with the
+//! same number of insertions and deletions arrive at regular
+//! intervals — e.g. a sliding window of timestamped events where each
+//! tick appends the newest events and expires the oldest.
+//!
+//! Run with: `cargo run --release --example streaming_window`
+
+use rma_repro::rma::{Rma, RmaConfig};
+use rma_repro::workloads::SplitMix64;
+use std::time::Instant;
+
+fn main() {
+    let window_len = 1 << 20; // events kept resident
+    let batch_len = window_len / 100; // ~1% churn per tick
+    let ticks = 200;
+
+    let mut events = Rma::new(RmaConfig::default());
+    let mut rng = SplitMix64::new(99);
+
+    // Key = event timestamp (monotone); value = payload id.
+    let mut clock = 0i64;
+    let mut initial: Vec<(i64, i64)> = (0..window_len)
+        .map(|_| {
+            clock += 1 + rng.next_below(4) as i64;
+            (clock, rng.next_u64() as i64 >> 1)
+        })
+        .collect();
+    initial.sort_unstable();
+    events.load_bulk(&initial);
+    println!(
+        "window primed with {} events (capacity {}, {} segments)",
+        events.len(),
+        events.capacity(),
+        events.num_segments()
+    );
+
+    let start = Instant::now();
+    let mut expired_checksum = 0i64;
+    for tick in 0..ticks {
+        // New events arrive with monotonically increasing timestamps.
+        let mut batch: Vec<(i64, i64)> = (0..batch_len)
+            .map(|_| {
+                clock += 1 + rng.next_below(4) as i64;
+                (clock, rng.next_u64() as i64 >> 1)
+            })
+            .collect();
+        batch.sort_unstable();
+        // Expire the same number of oldest events, then load the new
+        // batch bottom-up — cardinality stays pinned at window_len.
+        let expire_keys: Vec<i64> = {
+            let mut keys = Vec::with_capacity(batch_len);
+            events.scan(i64::MIN, batch_len, |k, _| keys.push(k));
+            keys
+        };
+        let removed = events.apply_batch(&batch, &expire_keys);
+        assert_eq!(removed, batch_len);
+        assert_eq!(events.len(), window_len);
+        if tick % 50 == 0 {
+            // A windowed aggregation: volume of the newest 10%.
+            let newest_start = {
+                let mut probe = clock;
+                // Cheap approximation: scan backwards via first_ge.
+                probe -= (batch_len * 40) as i64;
+                probe
+            };
+            let (n, sum) = events.sum_range(newest_start, window_len / 10);
+            expired_checksum ^= sum.wrapping_add(n as i64);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{} ticks × {} in / {} out in {:.2}s ({:.1}M batch updates/s), checksum {}",
+        ticks,
+        batch_len,
+        batch_len,
+        secs,
+        (2 * ticks * batch_len) as f64 / secs / 1e6,
+        expired_checksum
+    );
+
+    let st = events.stats();
+    println!(
+        "rebalances: {} ({} adaptive), resizes: {} — the window never resized after priming: {}",
+        st.rebalances,
+        st.adaptive_rebalances,
+        st.grows + st.shrinks,
+        st.grows + st.shrinks <= 2
+    );
+    // Sliding-window invariant: the oldest resident event is newer
+    // than everything expired.
+    let (oldest, _) = events.first_ge(i64::MIN).expect("window non-empty");
+    println!("oldest resident timestamp: {oldest} (clock {clock})");
+}

@@ -1,0 +1,36 @@
+//! # rma-repro — "Packed Memory Arrays – Rewired", reproduced in Rust
+//!
+//! This façade crate re-exports the whole reproduction workspace of
+//! De Leo & Boncz, *Packed Memory Arrays – Rewired*, ICDE 2019:
+//!
+//! * [`rma`] — the **Rewired Memory Array** (the paper's
+//!   contribution): a sparse array with clustered fixed-size segments,
+//!   a static index, memory-rewired rebalances and adaptive
+//!   rebalancing;
+//! * [`pma`] — the Traditional PMA baseline and the APMA
+//!   re-implementation;
+//! * [`abtree`] — the (a,b)-tree comparator and the static dense
+//!   array;
+//! * [`art`] — an Adaptive Radix Tree and the trie-indexed (a,b)-tree;
+//! * [`rewiring`] — the `memfd`/`mmap` virtual-memory substrate;
+//! * [`workloads`] — deterministic workload generators (uniform /
+//!   Zipf / sequential / mixed / batched).
+//!
+//! ```
+//! use rma_repro::rma::{Rma, RmaConfig};
+//!
+//! let mut index = Rma::new(RmaConfig::default());
+//! index.insert(42, 1);
+//! index.insert(7, 2);
+//! assert_eq!(index.get(7), Some(2));
+//! // Range scans run at near-dense-array speed:
+//! let (visited, sum) = index.sum_range(i64::MIN, 2);
+//! assert_eq!((visited, sum), (2, 3));
+//! ```
+
+pub use abtree;
+pub use art;
+pub use pma_baseline as pma;
+pub use rewiring;
+pub use rma_core as rma;
+pub use workloads;

@@ -1,0 +1,256 @@
+//! Differential tests: every structure in the workspace against a
+//! `BTreeMap` multiset oracle, on mixed insert / exact-delete /
+//! successor-delete / lookup / scan streams drawn from the paper's
+//! workload patterns.
+
+use rma_repro::abtree::{AbTree, AbTreeConfig};
+use rma_repro::art::ArtTree;
+use rma_repro::pma::{Tpma, TpmaConfig};
+use rma_repro::rma::{Rma, RmaConfig};
+use rma_repro::workloads::{KeyStream, Pattern, SplitMix64};
+use std::collections::BTreeMap;
+
+/// Multiset oracle with the same operations the structures expose.
+#[derive(Default)]
+struct Oracle {
+    map: BTreeMap<i64, usize>,
+    len: usize,
+}
+
+impl Oracle {
+    fn insert(&mut self, k: i64) {
+        *self.map.entry(k).or_insert(0) += 1;
+        self.len += 1;
+    }
+    fn remove_exact(&mut self, k: i64) -> bool {
+        match self.map.get_mut(&k) {
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.map.remove(&k);
+                }
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+    fn remove_successor(&mut self, k: i64) -> Option<i64> {
+        let key = self
+            .map
+            .range(k..)
+            .next()
+            .map(|(&kk, _)| kk)
+            .or_else(|| self.map.keys().next_back().copied())?;
+        self.remove_exact(key);
+        Some(key)
+    }
+    fn contains(&self, k: i64) -> bool {
+        self.map.contains_key(&k)
+    }
+    fn count_from(&self, k: i64, count: usize) -> usize {
+        self.map
+            .range(k..)
+            .flat_map(|(&kk, &c)| std::iter::repeat_n(kk, c))
+            .take(count)
+            .count()
+    }
+}
+
+/// Drives one structure + oracle through `steps` random operations.
+#[allow(clippy::too_many_arguments)] // one fn pointer per Store operation
+fn drive<S>(
+    mut structure: S,
+    label: &str,
+    pattern: Pattern,
+    steps: usize,
+    insert: fn(&mut S, i64, i64),
+    remove: fn(&mut S, i64) -> Option<i64>,
+    remove_succ: fn(&mut S, i64) -> Option<i64>,
+    get: fn(&S, i64) -> Option<i64>,
+    count_range: fn(&S, i64, usize) -> usize,
+    len: fn(&S) -> usize,
+) {
+    let mut oracle = Oracle::default();
+    let mut keys = KeyStream::new(pattern, 11);
+    let mut rng = SplitMix64::new(12);
+    for step in 0..steps {
+        match rng.next_below(10) {
+            0..=4 => {
+                let (k, v) = keys.next_pair();
+                insert(&mut structure, k, v);
+                oracle.insert(k);
+            }
+            5 => {
+                let k = keys.next_key();
+                let got = remove(&mut structure, k).is_some();
+                let want = oracle.remove_exact(k);
+                assert_eq!(got, want, "{label}/{:?}: remove {k} at step {step}", pattern.label());
+            }
+            6..=7 => {
+                let k = keys.next_key();
+                let got = remove_succ(&mut structure, k);
+                let want = oracle.remove_successor(k);
+                assert_eq!(got, want, "{label}: remove_successor {k} at step {step}");
+            }
+            8 => {
+                let k = keys.next_key();
+                assert_eq!(
+                    get(&structure, k).is_some(),
+                    oracle.contains(k),
+                    "{label}: get {k} at step {step}"
+                );
+            }
+            _ => {
+                let k = keys.next_key();
+                let n = 1 + rng.next_below(64) as usize;
+                assert_eq!(
+                    count_range(&structure, k, n),
+                    oracle.count_from(k, n),
+                    "{label}: scan from {k} x{n} at step {step}"
+                );
+            }
+        }
+        assert_eq!(len(&structure), oracle.len, "{label}: len at step {step}");
+    }
+}
+
+fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern::Uniform,
+        Pattern::Zipf {
+            alpha: 1.2,
+            beta: 512,
+        },
+        Pattern::Sequential,
+    ]
+}
+
+#[test]
+fn rma_matches_oracle() {
+    for pattern in patterns() {
+        for cfg in [
+            RmaConfig {
+                segment_size: 8,
+                reserve_bytes: 1 << 26,
+                ..Default::default()
+            }
+            .plain(),
+            RmaConfig {
+                segment_size: 16,
+                rewiring: rma_repro::rma::RewiringMode::Enabled { page_bytes: 4096 },
+                reserve_bytes: 1 << 26,
+                ..Default::default()
+            },
+        ] {
+            drive(
+                Rma::new(cfg),
+                "rma",
+                pattern,
+                8_000,
+                |s, k, v| s.insert(k, v),
+                |s, k| s.remove(k).map(|_| k),
+                |s, k| s.remove_successor(k).map(|(kk, _)| kk),
+                |s, k| s.get(k),
+                |s, k, n| {
+                    let mut c = 0;
+                    s.scan(k, n, |_, _| c += 1);
+                    c
+                },
+                |s| s.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn abtree_matches_oracle() {
+    for pattern in patterns() {
+        drive(
+            AbTree::new(AbTreeConfig {
+                leaf_capacity: 8,
+                inner_capacity: 4,
+            }),
+            "abtree",
+            pattern,
+            8_000,
+            |s, k, v| s.insert(k, v),
+            |s, k| s.remove(k).map(|_| k),
+            |s, k| s.remove_successor(k).map(|(kk, _)| kk),
+            |s, k| s.get(k),
+            |s, k, n| s.scan(k, n, |_, _| {}),
+            |s| s.len(),
+        );
+    }
+}
+
+#[test]
+fn art_tree_matches_oracle() {
+    for pattern in patterns() {
+        drive(
+            ArtTree::new(8),
+            "art",
+            pattern,
+            8_000,
+            |s, k, v| s.insert(k, v),
+            |s, k| s.remove(k).map(|_| k),
+            |s, k| s.remove_successor(k).map(|(kk, _)| kk),
+            |s, k| s.get(k),
+            |s, k, n| s.sum_range(k, n).0,
+            |s| s.len(),
+        );
+    }
+}
+
+#[test]
+fn tpma_matches_oracle() {
+    for pattern in patterns() {
+        for cfg in [
+            TpmaConfig::traditional(),
+            TpmaConfig::clustered(),
+            TpmaConfig::pm14(),
+        ] {
+            drive(
+                Tpma::new(cfg),
+                "tpma",
+                pattern,
+                6_000,
+                |s, k, v| s.insert(k, v),
+                |s, k| s.remove(k).map(|_| k),
+                |s, k| s.remove_successor(k).map(|(kk, _)| kk),
+                |s, k| s.get(k),
+                |s, k, n| s.sum_range(k, n).0,
+                |s| s.len(),
+            );
+        }
+    }
+}
+
+/// The exact-match `remove` must report the value that was stored
+/// under the removed key (checked against a value-aware oracle).
+#[test]
+fn removed_values_are_the_stored_ones() {
+    let mut rma = Rma::new(RmaConfig {
+        segment_size: 8,
+        reserve_bytes: 1 << 26,
+        ..Default::default()
+    });
+    let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(8));
+    // Unique keys so values are deterministic.
+    let mut rng = SplitMix64::new(5);
+    let mut pairs = Vec::new();
+    for _ in 0..5000 {
+        let k = (rng.next_u64() >> 16) as i64;
+        pairs.push((k, !k));
+    }
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|p| p.0);
+    for &(k, v) in &pairs {
+        rma.insert(k, v);
+        tree.insert(k, v);
+    }
+    for &(k, v) in pairs.iter().step_by(3) {
+        assert_eq!(rma.remove(k), Some(v));
+        assert_eq!(tree.remove(k), Some(v));
+    }
+}

@@ -1,0 +1,220 @@
+//! Scenario tests mirroring the paper's evaluation setups at reduced
+//! scale — these check *behavioural* claims (fill factors, adaptive
+//! effects, bulk-load equivalence, latency accounting), not absolute
+//! performance.
+
+use rma_repro::abtree::{AbTree, AbTreeConfig};
+use rma_repro::rma::{Rma, RmaConfig, Thresholds};
+use rma_repro::workloads::{KeyStream, MixedWorkload, Op, Pattern, SplitMix64};
+
+fn cfg(b: usize) -> RmaConfig {
+    RmaConfig {
+        segment_size: b,
+        reserve_bytes: 1 << 27,
+        ..Default::default()
+    }
+}
+
+/// §IV: under sequential hammering, adaptive rebalancing must cut the
+/// number of rebalances dramatically compared to even rebalancing.
+#[test]
+fn adaptive_rebalancing_reduces_rebalances_under_hammering() {
+    let n = 200_000;
+    let run = |adaptive: bool| -> u64 {
+        let mut r = Rma::new(cfg(64).adaptive(adaptive).rewired(false));
+        for k in 0..n {
+            r.insert(k, k);
+        }
+        r.check_invariants();
+        r.stats().rebalances
+    };
+    let even = run(false);
+    let adaptive = run(true);
+    assert!(
+        adaptive * 4 < even,
+        "adaptive should rebalance at least 4x less often under \
+         sequential hammering: adaptive={adaptive}, even={even}"
+    );
+}
+
+/// §IV "Deletions": the mixed workload at pinned cardinality stays
+/// consistent and the structure absorbs the churn without growing.
+#[test]
+fn mixed_workload_keeps_cardinality_and_capacity_stable() {
+    let n = 100_000usize;
+    let mut r = Rma::new(cfg(64));
+    let pattern = Pattern::Zipf {
+        alpha: 1.5,
+        beta: 1 << 14,
+    };
+    let mut stream = KeyStream::new(pattern, 1);
+    for _ in 0..n {
+        let (k, v) = stream.next_pair();
+        r.insert(k, v);
+    }
+    let grows_before = r.stats().grows;
+    let mut mixed = MixedWorkload::new(pattern, 1024, 2, 3);
+    // Whole rounds only, so the cardinality comparison is exact.
+    let ops = (2 * n) / 2048 * 2048;
+    for _ in 0..ops {
+        match mixed.next_op() {
+            Op::Insert(k, v) => r.insert(k, v),
+            Op::DeleteSuccessor(k) => {
+                r.remove_successor(k);
+            }
+        }
+    }
+    r.check_invariants();
+    assert_eq!(r.len(), n, "cardinality must stay pinned");
+    assert!(
+        r.stats().grows - grows_before <= 1,
+        "churn at fixed cardinality must not keep growing the array"
+    );
+}
+
+/// §III "Density thresholds": UT keeps fill in [ρ_h, τ_h]-ish bounds
+/// after a uniform load; ST keeps it near 75%, and never below 50%
+/// after deletions.
+#[test]
+fn threshold_presets_control_fill_factor() {
+    let n = 150_000;
+    let mut ut = Rma::new(cfg(64).with_thresholds(Thresholds::update_oriented()));
+    let mut st = Rma::new(cfg(64).with_thresholds(Thresholds::scan_oriented()));
+    let mut stream = KeyStream::new(Pattern::Uniform, 9);
+    for _ in 0..n {
+        let (k, v) = stream.next_pair();
+        ut.insert(k, v);
+        st.insert(k, v);
+    }
+    let ut_fill = ut.len() as f64 / ut.capacity() as f64;
+    let st_fill = st.len() as f64 / st.capacity() as f64;
+    assert!((0.3..=0.8).contains(&ut_fill), "UT fill {ut_fill}");
+    assert!(st_fill >= 0.6, "ST fill {st_fill} should be near 75%");
+    assert!(
+        st.capacity() <= ut.capacity(),
+        "ST must be at least as dense as UT"
+    );
+    // Delete 80%: the ST 50% rule must keep the array dense.
+    for _ in 0..(4 * n / 5) {
+        st.remove_successor(0);
+    }
+    st.check_invariants();
+    let st_fill = st.len() as f64 / st.capacity() as f64;
+    assert!(st_fill >= 0.45, "ST fill after mass deletion: {st_fill}");
+}
+
+/// Fig. 13a: the (a,b)-tree's leaves are allocation-ordered after a
+/// bulk load and get scattered by churn; the RMA's physical order is
+/// churn-invariant. We check the *structural* part: after heavy churn
+/// the RMA scan visits exactly as many elements, still sorted.
+#[test]
+fn rma_physical_order_survives_churn() {
+    let n = 100_000usize;
+    let keys = rma_repro::workloads::sorted_unique_keys(n, 4);
+    let mut r = Rma::new(cfg(64));
+    r.load_bulk(&keys.iter().map(|&k| (k, 1)).collect::<Vec<_>>());
+    let mut ins = KeyStream::new(Pattern::Uniform, 5);
+    let mut del = KeyStream::new(Pattern::Uniform, 6);
+    for _ in 0..n {
+        let (k, v) = ins.next_pair();
+        r.insert(k, v);
+        r.remove_successor(del.next_key());
+    }
+    r.check_invariants();
+    assert_eq!(r.len(), n);
+    let collected: Vec<i64> = r.iter().map(|(k, _)| k).collect();
+    assert_eq!(collected.len(), n);
+    assert!(collected.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Fig. 13b: all bulk-load schemes must agree with each other and
+/// with single inserts on batched streams (content equivalence).
+#[test]
+fn bulk_load_schemes_agree_on_batched_stream() {
+    let pattern = Pattern::Zipf {
+        alpha: 1.0,
+        beta: 1 << 12,
+    };
+    let mut singles = Rma::new(cfg(32));
+    let mut bottom_up = Rma::new(cfg(32));
+    let mut top_down = Rma::new(cfg(32));
+    let mut stream = KeyStream::new(pattern, 8);
+    for _ in 0..40 {
+        let mut batch = stream.take_pairs(1000);
+        batch.sort_unstable();
+        for &(k, v) in &batch {
+            singles.insert(k, v);
+        }
+        bottom_up.load_bulk(&batch);
+        top_down.load_bulk_top_down(&batch);
+    }
+    bottom_up.check_invariants();
+    top_down.check_invariants();
+    let want: Vec<i64> = singles.iter().map(|(k, _)| k).collect();
+    assert_eq!(bottom_up.iter().map(|(k, _)| k).collect::<Vec<_>>(), want);
+    assert_eq!(top_down.iter().map(|(k, _)| k).collect::<Vec<_>>(), want);
+    // The bottom-up scheme must not rebalance more than the top-down
+    // one (its whole point, Fig. 13b).
+    assert!(
+        bottom_up.stats().rebalances <= top_down.stats().rebalances,
+        "bottom-up {} vs top-down {}",
+        bottom_up.stats().rebalances,
+        top_down.stats().rebalances
+    );
+}
+
+/// §V: after a large uniform load, rebalance accounting is sane — a
+/// bounded share of insertions triggered reorganisations and every
+/// element move is attributed.
+#[test]
+fn rebalance_accounting_is_consistent() {
+    let n = 200_000u64;
+    let mut r = Rma::new(cfg(128));
+    let mut stream = KeyStream::new(Pattern::Uniform, 13);
+    for _ in 0..n {
+        let (k, v) = stream.next_pair();
+        r.insert(k, v);
+    }
+    let st = r.stats();
+    assert!(st.rebalances > 0);
+    assert!(st.grows > 0);
+    assert!(st.elements_moved > 0);
+    assert_eq!(st.rewired_commits + st.copied_commits, st.reorganisations());
+    assert!(
+        st.reorganisations() < n / 10,
+        "a reorganisation per <10 inserts means thrashing: {}",
+        st.reorganisations()
+    );
+}
+
+/// The (a,b)-tree and the RMA agree on ordered queries after the same
+/// aging workload (cross-checking both deletion paths).
+#[test]
+fn aging_workload_cross_check() {
+    let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(32));
+    let mut rma = Rma::new(cfg(32));
+    let keys = rma_repro::workloads::sorted_unique_keys(20_000, 21);
+    let pairs: Vec<(i64, i64)> = keys.iter().map(|&k| (k, k)).collect();
+    let mut t2 = AbTree::bulk_load(AbTreeConfig::with_leaf_capacity(32), &pairs);
+    for &(k, v) in &pairs {
+        tree.insert(k, v);
+        rma.insert(k, v);
+    }
+    let mut rng = SplitMix64::new(22);
+    for _ in 0..10_000 {
+        let k = (rng.next_u64() >> 2) as i64;
+        let a = tree.remove_successor(k).map(|(kk, _)| kk);
+        let b = rma.remove_successor(k).map(|(kk, _)| kk);
+        let c = t2.remove_successor(k).map(|(kk, _)| kk);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let (k2, v2) = (rng.next_u64() as i64 >> 2, 7);
+        tree.insert(k2, v2);
+        rma.insert(k2, v2);
+        t2.insert(k2, v2);
+    }
+    tree.check_invariants();
+    t2.check_invariants();
+    rma.check_invariants();
+    assert_eq!(tree.len(), rma.len());
+}

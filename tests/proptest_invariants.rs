@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! reproduction's data structures.
+
+use proptest::prelude::*;
+use rma_repro::abtree::{AbTree, AbTreeConfig};
+use rma_repro::art::{Art, ArtTree};
+use rma_repro::pma::{Tpma, TpmaConfig};
+use rma_repro::rma::{Rma, RmaConfig};
+
+/// One step of a workload script.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    RemoveSucc(i64),
+}
+
+fn op_strategy(key_range: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_range).prop_map(Op::Insert),
+        1 => (0..key_range).prop_map(Op::Remove),
+        1 => (0..key_range).prop_map(Op::RemoveSucc),
+    ]
+}
+
+fn small_rma() -> RmaConfig {
+    RmaConfig {
+        segment_size: 8,
+        reserve_bytes: 1 << 24,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The RMA keeps its structural invariants (sorted clustering,
+    /// exact separators, cards bookkeeping) under arbitrary scripts,
+    /// and iteration is always sorted with the correct multiplicity.
+    #[test]
+    fn rma_invariants_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(256), 1..400)) {
+        let mut r = Rma::new(small_rma());
+        let mut expected = std::collections::BTreeMap::<i64, isize>::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => { r.insert(k, k); *expected.entry(k).or_insert(0) += 1; }
+                Op::Remove(k) => {
+                    let removed = r.remove(k).is_some();
+                    let present = expected.get(&k).copied().unwrap_or(0) > 0;
+                    prop_assert_eq!(removed, present);
+                    if present {
+                        *expected.get_mut(&k).unwrap() -= 1;
+                        if expected[&k] == 0 { expected.remove(&k); }
+                    }
+                }
+                Op::RemoveSucc(k) => {
+                    if let Some((kk, _)) = r.remove_successor(k) {
+                        let c = expected.get_mut(&kk).expect("oracle has removed key");
+                        *c -= 1;
+                        if *c == 0 { expected.remove(&kk); }
+                    } else {
+                        prop_assert!(expected.is_empty());
+                    }
+                }
+            }
+        }
+        r.check_invariants();
+        let got: Vec<i64> = r.iter().map(|(k, _)| k).collect();
+        let want: Vec<i64> = expected
+            .iter()
+            .flat_map(|(&k, &c)| std::iter::repeat_n(k, c as usize))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bulk loading equals element-wise insertion (key sequences).
+    #[test]
+    fn bulk_load_equals_individual_inserts(
+        base in prop::collection::vec(0i64..1000, 0..300),
+        mut batch in prop::collection::vec(0i64..1000, 1..300),
+    ) {
+        let mut singles = Rma::new(small_rma());
+        let mut bulk = Rma::new(small_rma());
+        let mut topdown = Rma::new(small_rma());
+        for &k in &base {
+            singles.insert(k, k);
+            bulk.insert(k, k);
+            topdown.insert(k, k);
+        }
+        batch.sort_unstable();
+        let pairs: Vec<(i64, i64)> = batch.iter().map(|&k| (k, -k)).collect();
+        for &(k, v) in &pairs {
+            singles.insert(k, v);
+        }
+        bulk.load_bulk(&pairs);
+        topdown.load_bulk_top_down(&pairs);
+        bulk.check_invariants();
+        topdown.check_invariants();
+        let want: Vec<i64> = singles.iter().map(|(k, _)| k).collect();
+        let got_bu: Vec<i64> = bulk.iter().map(|(k, _)| k).collect();
+        let got_td: Vec<i64> = topdown.iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(&got_bu, &want);
+        prop_assert_eq!(&got_td, &want);
+    }
+
+    /// The rewired and copy-based rebalance paths produce identical
+    /// content for identical scripts.
+    #[test]
+    fn rewiring_is_content_transparent(keys in prop::collection::vec(0i64..100_000, 1..500)) {
+        let mut rewired = Rma::new(RmaConfig {
+            segment_size: 16,
+            rewiring: rma_repro::rma::RewiringMode::Enabled { page_bytes: 4096 },
+            reserve_bytes: 1 << 24,
+            ..Default::default()
+        });
+        let mut copied = Rma::new(RmaConfig {
+            segment_size: 16,
+            rewiring: rma_repro::rma::RewiringMode::Disabled,
+            reserve_bytes: 1 << 24,
+            ..Default::default()
+        });
+        for (i, &k) in keys.iter().enumerate() {
+            rewired.insert(k, i as i64);
+            copied.insert(k, i as i64);
+        }
+        let a: Vec<(i64, i64)> = rewired.iter().collect();
+        let b: Vec<(i64, i64)> = copied.iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// (a,b)-tree structural invariants under arbitrary scripts.
+    #[test]
+    fn abtree_invariants_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(128), 1..400)) {
+        let mut t = AbTree::new(AbTreeConfig { leaf_capacity: 4, inner_capacity: 4 });
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => t.insert(k, k),
+                Op::Remove(k) => { t.remove(k); }
+                Op::RemoveSucc(k) => { t.remove_successor(k); }
+            }
+        }
+        t.check_invariants();
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// ART exact-match semantics equal a BTreeMap under inserts,
+    /// replacements and removals, including floor queries.
+    #[test]
+    fn art_semantics_match_btreemap(
+        ops in prop::collection::vec((any::<bool>(), -500i64..500), 1..300),
+        probes in prop::collection::vec(-600i64..600, 10),
+    ) {
+        let mut art = Art::new();
+        let mut oracle = std::collections::BTreeMap::new();
+        for (insert, k) in ops {
+            if insert {
+                prop_assert_eq!(art.insert(k, k * 3), oracle.insert(k, k * 3));
+            } else {
+                prop_assert_eq!(art.remove(k), oracle.remove(&k));
+            }
+            prop_assert_eq!(art.len(), oracle.len());
+        }
+        for q in probes {
+            let want = oracle.range(..=q).next_back().map(|(&k, &v)| (k, v));
+            prop_assert_eq!(art.floor(q), want);
+            prop_assert_eq!(art.get(q), oracle.get(&q).copied());
+        }
+    }
+
+    /// The ART-indexed tree keeps its chain/index invariants.
+    #[test]
+    fn art_tree_invariants_under_arbitrary_ops(ops in prop::collection::vec(op_strategy(64), 1..300)) {
+        let mut t = ArtTree::new(4);
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => t.insert(k, k),
+                Op::Remove(k) => { t.remove(k); }
+                Op::RemoveSucc(k) => { t.remove_successor(k); }
+            }
+        }
+        t.check_invariants();
+    }
+
+    /// The TPMA keeps sorted order and cards bookkeeping under
+    /// arbitrary scripts for every layout variant.
+    #[test]
+    fn tpma_invariants_under_arbitrary_ops(
+        ops in prop::collection::vec(op_strategy(128), 1..300),
+        clustered in any::<bool>(),
+    ) {
+        let cfg = if clustered { TpmaConfig::clustered() } else { TpmaConfig::traditional() };
+        let mut p = Tpma::new(cfg);
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => p.insert(k, k),
+                Op::Remove(k) => { p.remove(k); }
+                Op::RemoveSucc(k) => { p.remove_successor(k); }
+            }
+        }
+        p.check_invariants();
+    }
+
+    /// Scan results always agree between the RMA and the (a,b)-tree.
+    #[test]
+    fn scans_agree_across_structures(
+        keys in prop::collection::vec(0i64..10_000, 1..400),
+        start in 0i64..12_000,
+        count in 1usize..200,
+    ) {
+        let mut r = Rma::new(small_rma());
+        let mut t = AbTree::new(AbTreeConfig::with_leaf_capacity(8));
+        for &k in &keys {
+            r.insert(k, 1);
+            t.insert(k, 1);
+        }
+        prop_assert_eq!(r.sum_range(start, count), t.sum_range(start, count));
+    }
+}
