@@ -455,7 +455,11 @@ impl AbTree {
         let sibling_count = self.inners.get(parent).children.len();
         debug_assert!(sibling_count >= 2, "non-root inner with one child");
         // Prefer the left sibling; fall back to the right one.
-        let (left_idx, right_idx) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (left_idx, right_idx) = if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         let left = self.inners.get(parent).children[left_idx];
         let right = self.inners.get(parent).children[right_idx];
 
@@ -580,7 +584,10 @@ impl AbTree {
     /// Builds a tree from key-sorted pairs with full leaves — the
     /// "load a sorted batch" step of Fig. 13a.
     pub fn bulk_load(cfg: AbTreeConfig, pairs: &[(Key, Value)]) -> Self {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted bulk load");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "unsorted bulk load"
+        );
         let mut tree = AbTree::new(cfg);
         if pairs.is_empty() {
             return tree;
@@ -732,7 +739,10 @@ impl AbTree {
         }
         let inner = self.inners.get(node);
         assert_eq!(inner.keys.len() + 1, inner.children.len(), "arity mismatch");
-        assert!(inner.keys.len() <= self.cfg.inner_capacity, "inner overflow");
+        assert!(
+            inner.keys.len() <= self.cfg.inner_capacity,
+            "inner overflow"
+        );
         if !is_root {
             assert!(
                 inner.children.len() >= self.cfg.inner_min_children(),
@@ -751,7 +761,15 @@ impl AbTree {
             } else {
                 Some(inner.keys[i])
             };
-            self.check_rec(child, level - 1, false, child_lo, child_hi, leaf_count, elem_count);
+            self.check_rec(
+                child,
+                level - 1,
+                false,
+                child_lo,
+                child_hi,
+                leaf_count,
+                elem_count,
+            );
         }
     }
 }
@@ -964,7 +982,9 @@ mod tests {
         let mut x = 1u64;
         let mut count = 0i64;
         for round in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = (x >> 40) as i64;
             if round % 3 == 2 && count > 0 {
                 assert!(t.remove_successor(k).is_some());

@@ -157,7 +157,11 @@ impl ArtTree {
     fn insert_into(&mut self, leaf_id: u32, k: Key, v: Value) {
         let old_min = {
             let leaf = self.leaves.get_mut(leaf_id);
-            let old_min = if leaf.len > 0 { Some(leaf.min_key()) } else { None };
+            let old_min = if leaf.len > 0 {
+                Some(leaf.min_key())
+            } else {
+                None
+            };
             let pos = leaf.lower_bound(k);
             leaf.insert_at(pos, k, v);
             old_min

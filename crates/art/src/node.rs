@@ -147,9 +147,9 @@ impl<V> Children<V> {
     /// Number of children.
     pub fn count(&self) -> usize {
         match self {
-            Children::N4 { count, .. } | Children::N16 { count, .. } | Children::N48 { count, .. } => {
-                *count as usize
-            }
+            Children::N4 { count, .. }
+            | Children::N16 { count, .. }
+            | Children::N48 { count, .. } => *count as usize,
             Children::N256 { count, .. } => *count as usize,
         }
     }
@@ -247,7 +247,11 @@ impl<V> Children<V> {
                 slots[pos] = Some(node);
                 *count += 1;
             }
-            Children::N48 { index, slots, count } => {
+            Children::N48 {
+                index,
+                slots,
+                count,
+            } => {
                 let free = slots.iter().position(|s| s.is_none()).expect("N48 full");
                 slots[free] = Some(node);
                 index[b as usize] = free as u8;
@@ -266,7 +270,10 @@ impl<V> Children<V> {
         let out = match self {
             Children::N4 { keys, slots, count } => {
                 let n = *count as usize;
-                let pos = keys[..n].iter().position(|&k| k == b).expect("missing child");
+                let pos = keys[..n]
+                    .iter()
+                    .position(|&k| k == b)
+                    .expect("missing child");
                 let node = slots[pos].take().expect("missing slot");
                 for i in pos..n - 1 {
                     keys[i] = keys[i + 1];
@@ -286,7 +293,11 @@ impl<V> Children<V> {
                 *count -= 1;
                 node
             }
-            Children::N48 { index, slots, count } => {
+            Children::N48 {
+                index,
+                slots,
+                count,
+            } => {
                 let i = index[b as usize];
                 assert_ne!(i, N48_NONE, "missing child");
                 index[b as usize] = N48_NONE;
@@ -364,7 +375,11 @@ impl<V> Children<V> {
             },
         );
         match old {
-            Children::N4 { keys, mut slots, count } => {
+            Children::N4 {
+                keys,
+                mut slots,
+                count,
+            } => {
                 let mut nk = [0u8; 16];
                 let mut ns: [Option<Node<V>>; 16] = Default::default();
                 nk[..4].copy_from_slice(&keys);
@@ -377,7 +392,11 @@ impl<V> Children<V> {
                     count,
                 };
             }
-            Children::N16 { keys, mut slots, count } => {
+            Children::N16 {
+                keys,
+                mut slots,
+                count,
+            } => {
                 let mut index = Box::new([N48_NONE; 256]);
                 let mut ns: Box<[Option<Node<V>>; 48]> = empty_slots_48();
                 for i in 0..count as usize {
@@ -390,7 +409,11 @@ impl<V> Children<V> {
                     count,
                 };
             }
-            Children::N48 { index, mut slots, count } => {
+            Children::N48 {
+                index,
+                mut slots,
+                count,
+            } => {
                 let mut ns = empty_slots_256();
                 for b in 0..256usize {
                     let i = index[b];
@@ -437,14 +460,17 @@ impl<V> Children<V> {
                 };
             }
             Children::N48 { count, .. } if *count == 16 => {
-                let Children::N48 { index, mut slots, .. } = std::mem::replace(
+                let Children::N48 {
+                    index, mut slots, ..
+                } = std::mem::replace(
                     self,
                     Children::N4 {
                         keys: [0; 4],
                         slots: [None, None, None, None],
                         count: 0,
                     },
-                ) else {
+                )
+                else {
                     unreachable!()
                 };
                 let mut keys = [0u8; 16];
@@ -465,14 +491,17 @@ impl<V> Children<V> {
                 };
             }
             Children::N16 { count, .. } if *count == 4 => {
-                let Children::N16 { keys, mut slots, .. } = std::mem::replace(
+                let Children::N16 {
+                    keys, mut slots, ..
+                } = std::mem::replace(
                     self,
                     Children::N4 {
                         keys: [0; 4],
                         slots: [None, None, None, None],
                         count: 0,
                     },
-                ) else {
+                )
+                else {
                     unreachable!()
                 };
                 let mut nk = [0u8; 4];
@@ -532,7 +561,10 @@ mod tests {
     use super::*;
 
     fn leaf(v: u64) -> Node<u64> {
-        Node::Leaf(LeafEntry { key: [0; 8], value: v })
+        Node::Leaf(LeafEntry {
+            key: [0; 8],
+            value: v,
+        })
     }
 
     fn value(n: &Node<u64>) -> u64 {

@@ -65,7 +65,9 @@ impl<V: Copy> Art<V> {
                     node,
                     Node::Leaf(LeafEntry { key, value: v }), // placeholder
                 );
-                let Node::Leaf(old_entry) = old_leaf else { unreachable!() };
+                let Node::Leaf(old_entry) = old_leaf else {
+                    unreachable!()
+                };
                 inner
                     .children
                     .insert(old_entry.key[depth + common], Node::Leaf(old_entry));
@@ -185,7 +187,9 @@ impl<V: Copy> Art<V> {
         if collapse {
             // Path compression: merge with the only remaining child.
             let replacement = {
-                let Node::Inner(inner) = node else { unreachable!() };
+                let Node::Inner(inner) = node else {
+                    unreachable!()
+                };
                 let (edge, only) = inner.children.take_single();
                 match only {
                     Node::Leaf(l) => Node::Leaf(l),
@@ -429,7 +433,11 @@ mod tests {
             if step % 3 == 0 {
                 assert_eq!(t.remove(k), oracle.remove(&k), "step {step} remove {k}");
             } else {
-                assert_eq!(t.insert(k, step), oracle.insert(k, step), "step {step} insert {k}");
+                assert_eq!(
+                    t.insert(k, step),
+                    oracle.insert(k, step),
+                    "step {step} insert {k}"
+                );
             }
             assert_eq!(t.len(), oracle.len());
         }

@@ -84,7 +84,9 @@ fn bench_lookups(c: &mut Criterion) {
     }
     let probes: Vec<i64> = {
         let mut rng = SplitMix64::new(7);
-        (0..1024).map(|_| data[rng.next_below(N as u64) as usize].0).collect()
+        (0..1024)
+            .map(|_| data[rng.next_below(N as u64) as usize].0)
+            .collect()
     };
     let mut g = c.benchmark_group("point_lookup");
     g.throughput(Throughput::Elements(probes.len() as u64));
@@ -116,12 +118,18 @@ fn bench_scans(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("full_scan");
     g.throughput(Throughput::Elements(N as u64));
-    g.bench_function("rma_b128", |b| b.iter(|| black_box(rma.sum_range(i64::MIN, N))));
-    g.bench_function("abtree_b128", |b| b.iter(|| black_box(tree.sum_range(i64::MIN, N))));
+    g.bench_function("rma_b128", |b| {
+        b.iter(|| black_box(rma.sum_range(i64::MIN, N)))
+    });
+    g.bench_function("abtree_b128", |b| {
+        b.iter(|| black_box(tree.sum_range(i64::MIN, N)))
+    });
     g.bench_function("tpma_interleaved", |b| {
         b.iter(|| black_box(tpma.sum_range(i64::MIN, N)))
     });
-    g.bench_function("dense_array", |b| b.iter(|| black_box(dense.sum_range(i64::MIN, N))));
+    g.bench_function("dense_array", |b| {
+        b.iter(|| black_box(dense.sum_range(i64::MIN, N)))
+    });
     g.finish();
 }
 

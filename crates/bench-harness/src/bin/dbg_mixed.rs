@@ -20,12 +20,19 @@ fn main() {
             for _ in 0..n {
                 match mixed.next_op() {
                     Op::Insert(k, v) => r.insert(k, v),
-                    Op::DeleteSuccessor(k) => { r.remove_successor(k); }
+                    Op::DeleteSuccessor(k) => {
+                        r.remove_successor(k);
+                    }
                 }
             }
         });
-        println!("alpha {alpha}: mixed {:.0}K/s rebal={} adaptive={} grows={} shrinks={}",
-            n as f64 / secs / 1e3, r.stats().rebalances, r.stats().adaptive_rebalances,
-            r.stats().grows, r.stats().shrinks);
+        println!(
+            "alpha {alpha}: mixed {:.0}K/s rebal={} adaptive={} grows={} shrinks={}",
+            n as f64 / secs / 1e3,
+            r.stats().rebalances,
+            r.stats().adaptive_rebalances,
+            r.stats().grows,
+            r.stats().shrinks
+        );
     }
 }

@@ -15,8 +15,13 @@ fn run(label: &str, cfg: RmaConfig, n: usize, pattern: Pattern, seed: u64) {
     let st = r.stats();
     println!(
         "{label:<24} {:>8.0}K/s rebal={} adaptive={} grows={} moved={} rewired={} copied={}",
-        n as f64 / secs / 1e3, st.rebalances, st.adaptive_rebalances, st.grows,
-        st.elements_moved, st.rewired_commits, st.copied_commits
+        n as f64 / secs / 1e3,
+        st.rebalances,
+        st.adaptive_rebalances,
+        st.grows,
+        st.elements_moved,
+        st.rewired_commits,
+        st.copied_commits
     );
 }
 
@@ -25,9 +30,37 @@ fn main() {
     let n = cli.scale;
     for (pl, pattern) in [("uniform", Pattern::Uniform), ("seq", Pattern::Sequential)] {
         println!("== pattern {pl} N={n}");
-        run("plain", RmaConfig::with_segment_size(128).plain(), n, pattern, cli.seed);
-        run("rewired", RmaConfig::with_segment_size(128).rewired(true).adaptive(false), n, pattern, cli.seed);
-        run("adaptive", RmaConfig::with_segment_size(128).rewired(false).adaptive(true), n, pattern, cli.seed);
-        run("both", RmaConfig::with_segment_size(128), n, pattern, cli.seed);
+        run(
+            "plain",
+            RmaConfig::with_segment_size(128).plain(),
+            n,
+            pattern,
+            cli.seed,
+        );
+        run(
+            "rewired",
+            RmaConfig::with_segment_size(128)
+                .rewired(true)
+                .adaptive(false),
+            n,
+            pattern,
+            cli.seed,
+        );
+        run(
+            "adaptive",
+            RmaConfig::with_segment_size(128)
+                .rewired(false)
+                .adaptive(true),
+            n,
+            pattern,
+            cli.seed,
+        );
+        run(
+            "both",
+            RmaConfig::with_segment_size(128),
+            n,
+            pattern,
+            cli.seed,
+        );
     }
 }

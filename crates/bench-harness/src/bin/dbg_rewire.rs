@@ -3,7 +3,11 @@ use rewiring::{RewireOptions, RewiredVec};
 use std::time::Instant;
 
 fn main() {
-    let opts = RewireOptions { page_bytes: 64 << 10, reserve_bytes: 1 << 30, force_heap: false };
+    let opts = RewireOptions {
+        page_bytes: 64 << 10,
+        reserve_bytes: 1 << 30,
+        force_heap: false,
+    };
     let mut v = RewiredVec::<i64>::new(opts);
     let epp = v.elems_per_page();
     v.resize_in_place(64 * epp);
@@ -20,7 +24,11 @@ fn main() {
         v.commit_window_swap(0, 8 * epp);
     }
     let el = t.elapsed().as_secs_f64();
-    println!("rewired swap of 8 pages x{rounds}: {:.1} us/commit ({:.2} GB/s effective)", el/rounds as f64*1e6, ((rounds * 8 * 64) << 10) as f64 / el / 1e9);
+    println!(
+        "rewired swap of 8 pages x{rounds}: {:.1} us/commit ({:.2} GB/s effective)",
+        el / rounds as f64 * 1e6,
+        ((rounds * 8 * 64) << 10) as f64 / el / 1e9
+    );
 
     // compare: pure memcpy of same volume on heap
     let mut a = vec![7i64; 64 * epp];
@@ -31,7 +39,11 @@ fn main() {
         a[..8 * epp].copy_from_slice(&b);
     }
     let el = t.elapsed().as_secs_f64();
-    println!("two-pass heap memcpy of 8 pages x{rounds}: {:.1} us ({:.2} GB/s)", el/rounds as f64*1e6, ((rounds * 8 * 64) << 10) as f64 / el / 1e9);
+    println!(
+        "two-pass heap memcpy of 8 pages x{rounds}: {:.1} us ({:.2} GB/s)",
+        el / rounds as f64 * 1e6,
+        ((rounds * 8 * 64) << 10) as f64 / el / 1e9
+    );
 
     // read-after-swap cost (faults?)
     let t = Instant::now();
@@ -43,5 +55,8 @@ fn main() {
         sum += v.as_slice()[..8 * epp].iter().sum::<i64>();
     }
     let el = t.elapsed().as_secs_f64();
-    println!("swap+readback x{rounds}: {:.1} us/commit (sum {sum})", el/rounds as f64*1e6);
+    println!(
+        "swap+readback x{rounds}: {:.1} us/commit (sum {sum})",
+        el / rounds as f64 * 1e6
+    );
 }

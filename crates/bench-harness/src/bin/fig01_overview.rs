@@ -11,7 +11,9 @@
 //! (Fig. 1b), RMA with B ∈ {128,256} and a static dense array
 //! (Fig. 1c).
 
-use bench_harness::stores::{abtree_factory, dense_from_pairs, rma_factory, tpma_factory, StoreFactory};
+use bench_harness::stores::{
+    abtree_factory, dense_from_pairs, rma_factory, tpma_factory, StoreFactory,
+};
 use bench_harness::{median_of, random_start_key, throughput, time, zipf_beta, Cli};
 use pma_baseline::TpmaConfig;
 use workloads::{KeyStream, Pattern, SplitMix64};
@@ -37,7 +39,11 @@ fn main() {
         ("RMA B=256", rma_factory(256, true, true)),
     ];
 
-    println!("# Fig. 1 overview — N={n}, reps={}, rewiring available: {}", cli.reps, rewiring::rewiring_available());
+    println!(
+        "# Fig. 1 overview — N={n}, reps={}, rewiring available: {}",
+        cli.reps,
+        rewiring::rewiring_available()
+    );
     println!(
         "{:<18} {:>14} {:>14} {:>9} {:>9}",
         "structure", "inserts/s", "scan elems/s", "ins. spd", "scan spd"

@@ -15,7 +15,15 @@ use pma_baseline::TpmaConfig;
 use workloads::{KeyStream, MixedWorkload, Op, Pattern};
 
 fn alphas() -> Vec<Option<f64>> {
-    vec![None, Some(0.5), Some(1.0), Some(1.5), Some(2.0), Some(2.5), Some(3.0)]
+    vec![
+        None,
+        Some(0.5),
+        Some(1.0),
+        Some(1.5),
+        Some(2.0),
+        Some(2.5),
+        Some(3.0),
+    ]
 }
 
 fn pattern_for(alpha: Option<f64>, beta: u64) -> Pattern {
@@ -92,8 +100,7 @@ fn main() {
                     let (k, v) = stream.next_pair();
                     s.insert(k, v);
                 }
-                let mut mixed =
-                    MixedWorkload::new(pattern, 1024, cli.seed ^ 0xA, cli.seed ^ 0xB);
+                let mut mixed = MixedWorkload::new(pattern, 1024, cli.seed ^ 0xA, cli.seed ^ 0xB);
                 let ops = n; // one further N of updates
                 let (_, secs) = time(|| {
                     for _ in 0..ops {

@@ -36,9 +36,8 @@ fn main() {
         let mut ut = Rma::new(
             RmaConfig::with_segment_size(b).with_thresholds(Thresholds::update_oriented()),
         );
-        let mut st = Rma::new(
-            RmaConfig::with_segment_size(b).with_thresholds(Thresholds::scan_oriented()),
-        );
+        let mut st =
+            Rma::new(RmaConfig::with_segment_size(b).with_thresholds(Thresholds::scan_oriented()));
         let mut tree = AbTree::new(AbTreeConfig::with_leaf_capacity(b));
         let mut ut_stream = KeyStream::new(pattern, cli.seed);
         let mut st_stream = KeyStream::new(pattern, cli.seed);

@@ -18,7 +18,10 @@ fn main() {
     let round = (n / 100).max(1); // 1% of the structure per round
     let rounds = 50;
 
-    println!("# Fig. 13a — (a,b)-tree aging, N={n}, B={}, round={round}", cli.seg);
+    println!(
+        "# Fig. 13a — (a,b)-tree aging, N={n}, B={}, round={round}",
+        cli.seg
+    );
     println!("{:>12} {:>14} {:>10}", "% changed", "scan elts/s", "rel.");
 
     let keys = sorted_unique_keys(n, cli.seed);

@@ -14,7 +14,15 @@ use rma_core::{Rma, RmaConfig};
 use workloads::{KeyStream, Pattern};
 
 fn alphas() -> Vec<Option<f64>> {
-    vec![None, Some(0.5), Some(1.0), Some(1.5), Some(2.0), Some(2.5), Some(3.0)]
+    vec![
+        None,
+        Some(0.5),
+        Some(1.0),
+        Some(1.5),
+        Some(2.0),
+        Some(2.5),
+        Some(3.0),
+    ]
 }
 
 #[derive(Clone, Copy, PartialEq)]

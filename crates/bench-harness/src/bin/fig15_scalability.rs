@@ -1,0 +1,174 @@
+//! Figure 15 (beyond the paper) — thread scalability of the sharded
+//! concurrent front-end.
+//!
+//! Pre-loads a [`ShardedRma`] with N elements, then drives an
+//! aggregate of N mixed operations (alternating insert / point
+//! lookup) from 1, 2, 4 and 8 client threads, for the uniform and
+//! Zipf(1.0) key patterns. Reports aggregate ops/s per thread count
+//! and writes a machine-readable `BENCH_shard_scaling.json` next to
+//! the working directory so later PRs can track the scaling
+//! trajectory.
+//!
+//! Shard count is fixed (4× the largest thread count) across all
+//! runs, so the sweep varies exactly one thing: client parallelism.
+
+use bench_harness::{fmt_throughput, median_of, throughput, time, zipf_beta, Cli};
+use rma_core::RmaConfig;
+use rma_shard::{ShardConfig, ShardedRma};
+use workloads::{KeyStream, Pattern};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: usize = 32;
+
+struct Row {
+    pattern: String,
+    threads: usize,
+    ops_per_sec: f64,
+}
+
+fn run_one(pattern: Pattern, threads: usize, cli: &Cli) -> f64 {
+    let n = cli.scale;
+    median_of(cli.reps, || {
+        let mut base = KeyStream::new(pattern, cli.seed).take_pairs(n);
+        base.sort_unstable();
+        let index = ShardedRma::load_bulk(
+            ShardConfig {
+                num_shards: SHARDS,
+                rma: RmaConfig::with_segment_size(cli.seg),
+                ..Default::default()
+            },
+            &base,
+        );
+        let per_thread = n / threads;
+        let (_, secs) = time(|| {
+            std::thread::scope(|sc| {
+                for tid in 0..threads {
+                    let index = &index;
+                    sc.spawn(move || {
+                        // Per-thread streams: disjoint seeds so threads
+                        // do not serialise on identical hot keys.
+                        let mut ops =
+                            KeyStream::new(pattern, cli.seed ^ (0xA5A5_0000 + tid as u64));
+                        let mut checksum = 0i64;
+                        for i in 0..per_thread {
+                            let (k, v) = ops.next_pair();
+                            if i % 2 == 0 {
+                                index.insert(k, v);
+                            } else {
+                                checksum = checksum.wrapping_add(index.get(k).unwrap_or_default());
+                            }
+                        }
+                        std::hint::black_box(checksum);
+                    });
+                }
+            });
+        });
+        throughput(per_thread * threads, secs)
+    })
+}
+
+fn write_json(path: &str, rows: &[Row], cli: &Cli) -> std::io::Result<()> {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"shard_scaling\",\n  \"scale\": {},\n",
+        cli.scale
+    ));
+    json.push_str(&format!(
+        "  \"shards\": {SHARDS},\n  \"segment_size\": {},\n",
+        cli.seg
+    ));
+    json.push_str(&format!(
+        "  \"seed\": {},\n  \"reps\": {},\n",
+        cli.seed, cli.reps
+    ));
+    json.push_str(&format!("  \"hw_threads\": {hw},\n  \"results\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pattern\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            r.pattern,
+            r.threads,
+            r.ops_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let speedup = |pattern: &str, t: usize| -> Option<f64> {
+        let base = rows
+            .iter()
+            .find(|r| r.pattern == pattern && r.threads == 1)?
+            .ops_per_sec;
+        let at = rows
+            .iter()
+            .find(|r| r.pattern == pattern && r.threads == t)?
+            .ops_per_sec;
+        Some(at / base)
+    };
+    // Lookup keys come from the rows themselves (first label is the
+    // uniform sweep, second the Zipf sweep), not from re-typed label
+    // strings that could drift from Pattern::label().
+    let mut labels: Vec<&str> = Vec::new();
+    for r in rows {
+        if !labels.contains(&r.pattern.as_str()) {
+            labels.push(&r.pattern);
+        }
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_uniform_4t\": {:.3},\n  \"speedup_zipf_4t\": {:.3}\n}}\n",
+        labels.first().and_then(|l| speedup(l, 4)).unwrap_or(0.0),
+        labels.get(1).and_then(|l| speedup(l, 4)).unwrap_or(0.0)
+    ));
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# Fig. 15 — sharded front-end scalability: N={} preloaded, N mixed ops (insert/lookup), {} shards, B={}, {} hw threads",
+        cli.scale, SHARDS, cli.seg, hw
+    );
+    let patterns = [
+        Pattern::Uniform,
+        Pattern::Zipf {
+            alpha: 1.0,
+            beta: zipf_beta(cli.scale),
+        },
+    ];
+
+    print!("{:<12}", "pattern");
+    for t in THREAD_COUNTS {
+        print!(" {:>10}", format!("{t} thr"));
+    }
+    println!(" {:>9}", "x @4thr");
+
+    let mut rows = Vec::new();
+    for pattern in patterns {
+        print!("{:<12}", pattern.label());
+        let mut base_rate = 0.0f64;
+        for t in THREAD_COUNTS {
+            let rate = run_one(pattern, t, &cli);
+            if t == 1 {
+                base_rate = rate;
+            }
+            print!(" {:>10}", fmt_throughput(rate as usize, 1.0).trim());
+            rows.push(Row {
+                pattern: pattern.label(),
+                threads: t,
+                ops_per_sec: rate,
+            });
+        }
+        let four = rows
+            .iter()
+            .rev()
+            .find(|r| r.threads == 4)
+            .map_or(0.0, |r| r.ops_per_sec);
+        println!(" {:>8.2}x", four / base_rate.max(1e-9));
+    }
+
+    let path = "BENCH_shard_scaling.json";
+    match write_json(path, &rows, &cli) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

@@ -20,10 +20,21 @@ fn main() {
         Pattern::Sequential,
     ];
 
-    println!("# Insertion latency and rebalance accounting — N={n}, B={}", cli.seg);
+    println!(
+        "# Insertion latency and rebalance accounting — N={n}, B={}",
+        cli.seg
+    );
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>10}",
-        "pattern", "p50[ns]", "p99[ns]", "p999[ns]", "max[ns]", "rebal", "resizes", "moved", "footprint"
+        "pattern",
+        "p50[ns]",
+        "p99[ns]",
+        "p999[ns]",
+        "max[ns]",
+        "rebal",
+        "resizes",
+        "moved",
+        "footprint"
     );
     for pattern in patterns {
         let mut rma = Rma::new(RmaConfig::with_segment_size(cli.seg));
@@ -49,10 +60,7 @@ fn main() {
         );
         println!(
             "{:<14} adaptive rebalances: {}, rewired commits: {}, copy commits: {}",
-            "",
-            stats.adaptive_rebalances,
-            stats.rewired_commits,
-            stats.copied_commits
+            "", stats.adaptive_rebalances, stats.rewired_commits, stats.copied_commits
         );
     }
 }

@@ -149,9 +149,7 @@ impl Cli {
                 "--seed" => cli.seed = grab().parse().expect("bad --seed"),
                 "--seg" => cli.seg = grab().parse().expect("bad --seg"),
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --scale N[k|m|g]  --reps N  --seed N  --seg N"
-                    );
+                    eprintln!("options: --scale N[k|m|g]  --reps N  --seed N  --seg N");
                     std::process::exit(0);
                 }
                 other => panic!("unknown option {other}"),
@@ -193,9 +191,11 @@ mod tests {
     #[test]
     fn cli_parses_options() {
         let cli = Cli::parse_from(
-            ["--scale", "2m", "--reps", "5", "--seed", "7", "--seg", "256"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--scale", "2m", "--reps", "5", "--seed", "7", "--seg", "256",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(cli.scale, 2 << 20);
         assert_eq!(cli.reps, 5);

@@ -5,6 +5,7 @@ use abtree::{AbTree, AbTreeConfig, DenseArray};
 use art::ArtTree;
 use pma_baseline::{Tpma, TpmaConfig};
 use rma_core::{Rma, RmaConfig};
+use rma_shard::{ShardConfig, ShardedRma};
 
 /// Key/value scalar type of the reproduction.
 pub type Key = i64;
@@ -127,6 +128,34 @@ impl Store for Tpma {
     }
 }
 
+impl Store for ShardedRma {
+    fn label(&self) -> String {
+        format!(
+            "Sharded-RMA n={} B={}",
+            self.num_shards(),
+            self.config().rma.segment_size
+        )
+    }
+    fn insert(&mut self, k: Key, v: Value) {
+        ShardedRma::insert(self, k, v)
+    }
+    fn remove_successor(&mut self, k: Key) -> bool {
+        ShardedRma::remove_successor(self, k).is_some()
+    }
+    fn get(&self, k: Key) -> Option<Value> {
+        ShardedRma::get(self, k)
+    }
+    fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
+        ShardedRma::sum_range(self, start, count)
+    }
+    fn len(&self) -> usize {
+        ShardedRma::len(self)
+    }
+    fn footprint(&self) -> usize {
+        self.memory_footprint()
+    }
+}
+
 /// Factory closures for the structures a driver sweeps.
 pub type StoreFactory = Box<dyn Fn() -> Box<dyn Store>>;
 
@@ -138,6 +167,18 @@ pub fn rma_factory(b: usize, rewired: bool, adaptive: bool) -> StoreFactory {
                 .rewired(rewired)
                 .adaptive(adaptive),
         ))
+    })
+}
+
+/// Sharded-RMA factory: `shards` shards of segment-size-`b` RMAs with
+/// splitters spread over the uniform key domain.
+pub fn sharded_rma_factory(b: usize, shards: usize) -> StoreFactory {
+    Box::new(move || {
+        Box::new(ShardedRma::new(ShardConfig {
+            num_shards: shards,
+            rma: RmaConfig::with_segment_size(b),
+            ..Default::default()
+        }))
     })
 }
 
@@ -173,6 +214,7 @@ mod tests {
         let factories: Vec<StoreFactory> = vec![
             rma_factory(32, false, false),
             rma_factory(32, true, true),
+            sharded_rma_factory(32, 4),
             abtree_factory(32),
             art_factory(32),
             tpma_factory(TpmaConfig::traditional()),

@@ -1,0 +1,173 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds in a container without a crates.io registry,
+//! so the real criterion cannot be resolved. This shim implements the
+//! surface `benches/microbench.rs` uses — groups, `bench_function`,
+//! `bench_with_input`, `iter`/`iter_batched`, throughput annotations —
+//! measuring medians over a handful of timed runs and printing one
+//! plain-text line per benchmark. Statistical machinery (outlier
+//! analysis, HTML reports) is intentionally absent.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+            sample_size: 5,
+        }
+    }
+}
+
+/// Unit the per-iteration rate is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one setup
+/// per timed routine call regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher { seconds: 0.0 };
+                f(&mut b);
+                b.seconds
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / median.max(1e-12) / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.3} MiB/s",
+                    n as f64 / median.max(1e-12) / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("  {id:<32} {:>12.6} s/iter{rate}", median);
+    }
+}
+
+/// Times the closure(s) a benchmark body hands it.
+pub struct Bencher {
+    seconds: f64,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.seconds = start.elapsed().as_secs_f64();
+    }
+
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.seconds = start.elapsed().as_secs_f64();
+    }
+}
+
+/// Declares the group-runner function the real criterion generates.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

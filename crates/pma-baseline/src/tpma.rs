@@ -132,8 +132,8 @@ impl Tpma {
         }
         let seg_size = Self::segment_size_for(&cfg, 16);
         let capacity = seg_size;
-        let predictor = matches!(cfg.rebalance, RebalanceStrategy::Apma)
-            .then(|| ApmaPredictor::new(1));
+        let predictor =
+            matches!(cfg.rebalance, RebalanceStrategy::Apma).then(|| ApmaPredictor::new(1));
         Tpma {
             cfg,
             seg_size,
@@ -358,7 +358,8 @@ impl Tpma {
     /// Iterates over all elements in key order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
         (0..self.seg_count()).flat_map(move |seg| {
-            self.seg_slots(seg).map(move |s| (self.keys[s], self.vals[s]))
+            self.seg_slots(seg)
+                .map(move |s| (self.keys[s], self.vals[s]))
         })
     }
 
@@ -388,8 +389,10 @@ impl Tpma {
         let base = seg * self.seg_size;
         let card = self.cards[seg] as usize;
         let pos = self.clustered_lower_bound(seg, k);
-        self.keys.copy_within(base + pos..base + card, base + pos + 1);
-        self.vals.copy_within(base + pos..base + card, base + pos + 1);
+        self.keys
+            .copy_within(base + pos..base + card, base + pos + 1);
+        self.vals
+            .copy_within(base + pos..base + card, base + pos + 1);
         self.keys[base + pos] = k;
         self.vals[base + pos] = v;
         if pos == 0 && self.cfg.indexed && seg > 0 {
@@ -673,9 +676,7 @@ impl Tpma {
         self.minima = vec![Key::MIN; new_segs];
         let base = self.len / new_segs;
         let rem = self.len % new_segs;
-        let targets: Vec<usize> = (0..new_segs)
-            .map(|i| base + usize::from(i < rem))
-            .collect();
+        let targets: Vec<usize> = (0..new_segs).map(|i| base + usize::from(i < rem)).collect();
         self.scatter(0..new_segs, &targets, &sk, &sv);
         self.refresh_minima(0..new_segs);
         if let Some(p) = &mut self.predictor {

@@ -107,7 +107,10 @@ impl HeapRegion {
     /// Swaps `count` pages starting at `a` with those starting at `b`
     /// (disjoint ranges); page-by-page copies on this backend.
     pub fn swap_range(&mut self, a: usize, b: usize, count: usize) -> std::io::Result<()> {
-        assert!(a + count <= b || b + count <= a, "swap_range requires disjoint ranges");
+        assert!(
+            a + count <= b || b + count <= a,
+            "swap_range requires disjoint ranges"
+        );
         for i in 0..count {
             self.swap(a + i, b + i)?;
         }

@@ -27,6 +27,8 @@
 
 mod heap;
 #[cfg(target_os = "linux")]
+mod libc;
+#[cfg(target_os = "linux")]
 mod mmap;
 mod vec;
 

@@ -1,0 +1,60 @@
+//! Minimal in-crate replacement for the `libc` crate.
+//!
+//! The build environment has no crates.io registry, so the real `libc`
+//! cannot be resolved. This module declares exactly the types,
+//! constants and functions `mmap.rs` uses, with the generic Linux
+//! values shared by x86_64 and aarch64 (the only targets this
+//! reproduction runs on).
+
+#![allow(non_camel_case_types, non_upper_case_globals)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_void = std::ffi::c_void;
+pub type off_t = i64;
+pub type size_t = usize;
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_NORESERVE: c_int = 0x4000;
+pub const MAP_POPULATE: c_int = 0x8000;
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+pub const MADV_HUGEPAGE: c_int = 14;
+
+pub const MFD_CLOEXEC: c_uint = 0x0001;
+
+pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
+pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
+
+#[cfg(target_arch = "x86_64")]
+pub const SYS_memfd_create: c_long = 319;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_memfd_create: c_long = 279;
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+}

@@ -5,6 +5,7 @@
 //! This is the only module in the workspace that issues raw syscalls;
 //! all `unsafe` is concentrated here behind a safe interface.
 
+use crate::libc;
 use std::io;
 use std::ptr;
 
@@ -32,8 +33,12 @@ pub struct MmapRegion {
 const UNMAPPED: u64 = u64::MAX;
 
 // The region owns its mapping and fd exclusively; raw pointers are
-// only dereferenced through &self/&mut self methods.
+// only dereferenced through &self/&mut self methods. There is no
+// interior mutability: every page-table or mapping change takes
+// `&mut self`, so shared `&self` access from multiple threads (e.g.
+// under an `RwLock` read guard) is sound.
 unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
 
 /// Returns true if `memfd_create` + `MAP_FIXED` rewiring works here.
 pub fn probe() -> bool {

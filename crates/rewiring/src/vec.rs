@@ -279,10 +279,8 @@ impl<T: Scalar> RewiredVec<T> {
         // [first, first+pages) are disjoint wired ranges.
         unsafe {
             let arr = std::slice::from_raw_parts(self.backend.page_ptr(0) as *const T, self.len);
-            let buf = std::slice::from_raw_parts_mut(
-                self.backend.page_ptr(first) as *mut T,
-                buf_elems,
-            );
+            let buf =
+                std::slice::from_raw_parts_mut(self.backend.page_ptr(first) as *mut T, buf_elems);
             (arr, buf)
         }
     }
@@ -293,7 +291,11 @@ impl<T: Scalar> RewiredVec<T> {
     /// content is live in the array and the old array content sits in
     /// the spare area.
     pub fn commit_window_swap(&mut self, first_elem: usize, elems: usize) {
-        assert_eq!(first_elem % self.elems_per_page, 0, "window start unaligned");
+        assert_eq!(
+            first_elem % self.elems_per_page,
+            0,
+            "window start unaligned"
+        );
         assert_eq!(elems % self.elems_per_page, 0, "window length unaligned");
         assert!(first_elem + elems <= self.len);
         let first_page = first_elem / self.elems_per_page;
@@ -518,7 +520,8 @@ mod tests {
         for opts in backends() {
             let mut v = RewiredVec::<i64>::new(opts);
             v.resize_in_place(10);
-            v.as_mut_slice().copy_from_slice(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+            v.as_mut_slice()
+                .copy_from_slice(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
             assert_eq!(v.as_slice().len(), 10);
             assert_eq!(v.array_pages(), 1);
         }

@@ -44,8 +44,8 @@ pub fn compute_marked_intervals(
     for seg in segs {
         let card = storage.card(seg);
         let meta = detector.segment(seg);
-        let marked = detector.is_recent(seg, cutoff)
-            && meta.sc.unsigned_abs() >= cfg.theta_sc as u16;
+        let marked =
+            detector.is_recent(seg, cutoff) && meta.sc.unsigned_abs() >= cfg.theta_sc as u16;
         if marked && card > 0 {
             let score = if meta.sc > 0 { 1 } else { -1 };
             // Prefer the 2-element interval of a confident sequential
@@ -459,7 +459,21 @@ mod tests {
             score: 1,
         }];
         let (l, r) = partition_intervals(&iv, 5);
-        assert_eq!(l, vec![MarkedInterval { start: 2, len: 3, score: 1 }]);
-        assert_eq!(r, vec![MarkedInterval { start: 5, len: 3, score: 1 }]);
+        assert_eq!(
+            l,
+            vec![MarkedInterval {
+                start: 2,
+                len: 3,
+                score: 1
+            }]
+        );
+        assert_eq!(
+            r,
+            vec![MarkedInterval {
+                start: 5,
+                len: 3,
+                score: 1
+            }]
+        );
     }
 }

@@ -163,7 +163,6 @@ impl Rma {
     }
 }
 
-
 // ----------------------------------------------------------------- //
 // Internal passes shared by the bottom-up and top-down schemes.      //
 // ----------------------------------------------------------------- //
@@ -218,10 +217,7 @@ impl Rma {
 
     /// Pass 2: the smallest window absorbing each overflowing segment,
     /// with overlapping windows merged.
-    pub(crate) fn plan_windows(
-        &self,
-        new_cards: &[usize],
-    ) -> Vec<std::ops::Range<usize>> {
+    pub(crate) fn plan_windows(&self, new_cards: &[usize]) -> Vec<std::ops::Range<usize>> {
         let m = self.storage.seg_count();
         let b = self.cfg.segment_size;
         let height = self.height();
@@ -350,8 +346,10 @@ impl Rma {
         let slots = m * b;
         let dst_ranges = window_layout(segs.start, b, &targets);
         let epp = self.storage.keys.elems_per_page();
-        let rewire = matches!(self.cfg.rewiring, crate::config::RewiringMode::Enabled { .. })
-            && first_slot.is_multiple_of(epp)
+        let rewire = matches!(
+            self.cfg.rewiring,
+            crate::config::RewiringMode::Enabled { .. }
+        ) && first_slot.is_multiple_of(epp)
             && slots.is_multiple_of(epp)
             && slots >= epp;
         if rewire {
@@ -359,16 +357,14 @@ impl Rma {
             let (_, kbuf) = self.storage.keys.array_and_buffer_mut(slots);
             let mut cursor = 0usize;
             for dst in &dst_ranges {
-                kbuf[dst.clone()]
-                    .copy_from_slice(&self.scratch_keys[cursor..cursor + dst.len()]);
+                kbuf[dst.clone()].copy_from_slice(&self.scratch_keys[cursor..cursor + dst.len()]);
                 cursor += dst.len();
             }
             self.storage.keys.commit_window_swap(first_slot, slots);
             let (_, vbuf) = self.storage.vals.array_and_buffer_mut(slots);
             let mut cursor = 0usize;
             for dst in &dst_ranges {
-                vbuf[dst.clone()]
-                    .copy_from_slice(&self.scratch_vals[cursor..cursor + dst.len()]);
+                vbuf[dst.clone()].copy_from_slice(&self.scratch_vals[cursor..cursor + dst.len()]);
                 cursor += dst.len();
             }
             self.storage.vals.commit_window_swap(first_slot, slots);
@@ -377,11 +373,9 @@ impl Rma {
             let mut cursor = 0usize;
             for dst in &dst_ranges {
                 let n = dst.len();
-                self.storage.keys.as_mut_slice()
-                    [first_slot + dst.start..first_slot + dst.end]
+                self.storage.keys.as_mut_slice()[first_slot + dst.start..first_slot + dst.end]
                     .copy_from_slice(&self.scratch_keys[cursor..cursor + n]);
-                self.storage.vals.as_mut_slice()
-                    [first_slot + dst.start..first_slot + dst.end]
+                self.storage.vals.as_mut_slice()[first_slot + dst.start..first_slot + dst.end]
                     .copy_from_slice(&self.scratch_vals[cursor..cursor + n]);
                 cursor += n;
             }
@@ -551,8 +545,7 @@ mod tests {
     fn repeated_batches_grow_structure() {
         let mut r = Rma::new(cfg());
         for round in 0..50i64 {
-            let batch: Vec<(i64, i64)> =
-                (0..200).map(|i| (round * 200 + i, round)).collect();
+            let batch: Vec<(i64, i64)> = (0..200).map(|i| (round * 200 + i, round)).collect();
             r.load_bulk(&batch);
         }
         r.check_invariants();

@@ -74,7 +74,11 @@ impl RmaConfig {
 
     /// Enables/disables adaptive rebalancing in place.
     pub fn adaptive(mut self, on: bool) -> Self {
-        self.adaptive = if on { Some(DetectorConfig::default()) } else { None };
+        self.adaptive = if on {
+            Some(DetectorConfig::default())
+        } else {
+            None
+        };
         self
     }
 
@@ -106,7 +110,10 @@ impl RmaConfig {
         assert!(self.index_fanout >= 2, "index fanout must be >= 2");
         self.thresholds.validate();
         if let RewiringMode::Enabled { page_bytes } = self.rewiring {
-            assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+            assert!(
+                page_bytes.is_power_of_two(),
+                "page size must be a power of two"
+            );
             assert!(page_bytes >= 4096, "page size must be >= 4 KiB");
         }
     }

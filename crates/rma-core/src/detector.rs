@@ -113,7 +113,9 @@ impl Detector {
     pub fn new(cfg: DetectorConfig, num_segments: usize) -> Self {
         Detector {
             cfg,
-            segments: (0..num_segments).map(|_| SegmentMeta::new(cfg.queue_len)).collect(),
+            segments: (0..num_segments)
+                .map(|_| SegmentMeta::new(cfg.queue_len))
+                .collect(),
             clock: 0,
         }
     }
@@ -305,7 +307,10 @@ mod tests {
         }
         let cutoff = d.recency_cutoff(0..16).unwrap();
         let marked = (0..16).filter(|&s| d.is_recent(s, cutoff)).count();
-        assert!(marked <= 2, "uniform activity should not mark segments, got {marked}");
+        assert!(
+            marked <= 2,
+            "uniform activity should not mark segments, got {marked}"
+        );
     }
 
     #[test]

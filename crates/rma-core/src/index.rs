@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn search_matches_reference_at_many_shapes() {
         for f in [2, 3, 4, 64] {
-            for n in [1usize, 2, 3, 4, 5, 8, 9, 16, 17, 63, 64, 65, 100, 256, 257, 1000] {
+            for n in [
+                1usize, 2, 3, 4, 5, 8, 9, 16, 17, 63, 64, 65, 100, 256, 257, 1000,
+            ] {
                 let minima: Vec<Key> = (0..n as i64).map(|i| i * 10).collect();
                 probe_all(&minima, f);
             }
@@ -244,7 +246,11 @@ mod tests {
                 let idx = StaticIndex::build(&minima, f);
                 for probe in -2..(n as i64 * 4 + 2) {
                     let want = minima[1..].partition_point(|&m| m < probe);
-                    assert_eq!(idx.search_lower_bound(probe), want, "n={n} f={f} probe={probe}");
+                    assert_eq!(
+                        idx.search_lower_bound(probe),
+                        want,
+                        "n={n} f={f} probe={probe}"
+                    );
                 }
             }
         }

@@ -80,9 +80,10 @@ impl Rma {
 
     /// Resident bytes: columns + cards + index + detector.
     pub fn memory_footprint(&self) -> usize {
-        let det = self.detector.as_ref().map_or(0, |d| {
-            d.num_segments() * (d.config().queue_len * 8 + 48)
-        });
+        let det = self
+            .detector
+            .as_ref()
+            .map_or(0, |d| d.num_segments() * (d.config().queue_len * 8 + 48));
         self.storage.memory_footprint() + self.index.memory_footprint() + det
     }
 
@@ -109,7 +110,10 @@ impl Rma {
     /// First element with key `>= k` in sorted order.
     pub fn first_ge(&self, k: Key) -> Option<(Key, Value)> {
         let (seg, pos) = self.locate_lower_bound(k)?;
-        Some((self.storage.seg_keys(seg)[pos], self.storage.seg_vals(seg)[pos]))
+        Some((
+            self.storage.seg_keys(seg)[pos],
+            self.storage.seg_vals(seg)[pos],
+        ))
     }
 
     fn locate_lower_bound(&self, k: Key) -> Option<(usize, usize)> {
@@ -303,9 +307,10 @@ impl Rma {
         // half a segment of headroom makes hammered triggers escalate
         // to windows that amortise (the effect adaptive rebalancing is
         // for, §IV).
-        let hammered = self.detector.as_ref().is_some_and(|d| {
-            d.segment(seg).sc.unsigned_abs() >= d.config().theta_sc as u16
-        });
+        let hammered = self
+            .detector
+            .as_ref()
+            .is_some_and(|d| d.segment(seg).sc.unsigned_abs() >= d.config().theta_sc as u16);
         let headroom = if hammered { b / 2 } else { 0 };
         let mut w = 2usize;
         let mut level = 2usize;
@@ -694,7 +699,11 @@ pub(crate) fn cap_targets(targets: &mut [usize], b: usize, total: usize) {
 
 /// Occupied slot ranges (window-relative) for the clustered layout of
 /// segments starting at global index `seg0` with the given targets.
-pub(crate) fn window_layout(seg0: usize, b: usize, targets: &[usize]) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn window_layout(
+    seg0: usize,
+    b: usize,
+    targets: &[usize],
+) -> Vec<std::ops::Range<usize>> {
     targets
         .iter()
         .enumerate()
@@ -903,7 +912,10 @@ mod tests {
         let a = mk(true);
         let b = mk(false);
         assert_eq!(a.len(), 30_000);
-        assert_eq!(a, b, "rewired and copy paths must produce identical content");
+        assert_eq!(
+            a, b,
+            "rewired and copy paths must produce identical content"
+        );
     }
 
     #[test]

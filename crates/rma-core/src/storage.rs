@@ -201,7 +201,10 @@ impl Storage {
         assert_eq!(self.vals.len(), self.capacity());
         let mut prev: Option<Key> = None;
         for seg in 0..self.seg_count() {
-            assert!(self.cards[seg] as usize <= self.seg_size, "overfull segment");
+            assert!(
+                self.cards[seg] as usize <= self.seg_size,
+                "overfull segment"
+            );
             let ks = self.seg_keys(seg);
             for w in ks.windows(2) {
                 assert!(w[0] <= w[1], "unsorted segment {seg}");

@@ -69,7 +69,10 @@ impl Thresholds {
     /// Validates the designer ordering `0 ≤ ρ₁ < ρ_h ≤ τ_h < τ₁ ≤ 1`
     /// (with `ρ₁ = ρ_h` tolerated for degenerate configurations).
     pub fn validate(&self) {
-        assert!(self.rho_1 >= 0.0 && self.tau_1 <= 1.0, "thresholds out of [0,1]");
+        assert!(
+            self.rho_1 >= 0.0 && self.tau_1 <= 1.0,
+            "thresholds out of [0,1]"
+        );
         assert!(self.rho_1 <= self.rho_h, "rho_1 must be <= rho_h");
         assert!(self.rho_h <= self.tau_h, "rho_h must be <= tau_h");
         assert!(self.tau_h < self.tau_1, "tau_h must be < tau_1");

@@ -1,0 +1,342 @@
+//! # rma-shard — a sharded concurrent front-end for the Rewired Memory Array
+//!
+//! The single-threaded [`Rma`](rma_core::Rma) of De Leo & Boncz (ICDE
+//! 2019) is `&mut self` end to end: nothing can serve two clients at
+//! once. This crate wraps it in the canonical first concurrency layer
+//! for PMA-family structures — **key-range sharding** — which works
+//! because rebalances are window-local and therefore shard-local by
+//! construction:
+//!
+//! * a [`ShardedRma`] partitions the key space across N shards with
+//!   [`Splitters`] (learned from a sample, a bulk-load batch, or
+//!   spread uniformly), each shard an independent `RwLock<Rma>`;
+//! * point operations route through a **branch-free** splitter search
+//!   and lock exactly one shard; a rebalance or resize inside one
+//!   shard never blocks its siblings;
+//! * [`scan`](ShardedRma::scan) / [`sum_range`](ShardedRma::sum_range)
+//!   stitch results across shard boundaries;
+//! * [`apply_batch`](ShardedRma::apply_batch) partitions a sorted
+//!   batch by shard and applies the sub-batches on parallel threads
+//!   through the paper's bottom-up bulk-load machinery;
+//! * [`rebalance_shards`](ShardedRma::rebalance_shards) splits hot
+//!   shards and merges cold neighbours using per-shard load
+//!   statistics ([`shard_stats`](ShardedRma::shard_stats)).
+//!
+//! Concurrency contract: each operation is atomic within the shard(s)
+//! it locks; multi-shard reads (scans) release each shard before
+//! locking the next, so a concurrent writer may be observed between
+//! shards but never inside one. This matches the per-partition
+//! consistency that partitioned stores ship in practice.
+//!
+//! ```
+//! use rma_shard::{ShardConfig, ShardedRma};
+//!
+//! let index = ShardedRma::new(ShardConfig::default());
+//! for k in 0..1000i64 {
+//!     index.insert(k, k * 2); // &self: callers can share it
+//! }
+//! assert_eq!(index.get(421), Some(842));
+//! let (visited, _sum) = index.sum_range(100, 50);
+//! assert_eq!(visited, 50);
+//! index.apply_batch(&[(2000, 1), (2001, 2)], &[421]);
+//! assert_eq!(index.get(421), None);
+//! assert_eq!(index.len(), 1001);
+//! ```
+
+mod batch;
+mod maintenance;
+mod scan;
+mod shard;
+pub mod splitter;
+
+pub use maintenance::{MaintenanceReport, ShardStats};
+pub use splitter::Splitters;
+
+use rma_core::{Key, RmaConfig, Value};
+use shard::Topology;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Construction-time configuration of a [`ShardedRma`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Target shard count. Splitter learning may induce fewer shards
+    /// on duplicate-heavy samples; maintenance may grow or shrink the
+    /// count over time.
+    pub num_shards: usize,
+    /// Configuration applied to every per-shard RMA.
+    pub rma: RmaConfig,
+    /// A shard splits when its length exceeds `split_factor` times the
+    /// mean shard length (and `min_split_len`).
+    pub split_factor: f64,
+    /// Two adjacent shards merge when their combined length falls
+    /// below `merge_factor` times the mean shard length.
+    pub merge_factor: f64,
+    /// Shards shorter than this never split, regardless of imbalance.
+    pub min_split_len: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            num_shards: 8,
+            rma: RmaConfig::default(),
+            split_factor: 2.0,
+            merge_factor: 0.5,
+            min_split_len: 1024,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default configuration with `n` shards.
+    pub fn with_shards(n: usize) -> Self {
+        ShardConfig {
+            num_shards: n,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the per-shard RMA configuration.
+    pub fn with_rma(mut self, rma: RmaConfig) -> Self {
+        self.rma = rma;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.num_shards >= 1, "need at least one shard");
+        assert!(self.split_factor > 1.0, "split factor must exceed 1");
+        assert!(
+            self.merge_factor < self.split_factor,
+            "merge factor must stay below split factor or maintenance oscillates"
+        );
+        self.rma.validate();
+    }
+}
+
+/// A concurrent, key-range-sharded collection of [`rma_core::Rma`]s.
+/// All operations take `&self`; see the crate docs for the
+/// consistency contract.
+pub struct ShardedRma {
+    cfg: ShardConfig,
+    topo: RwLock<Topology>,
+}
+
+impl ShardedRma {
+    /// Empty index with splitters spread uniformly over the 62-bit
+    /// positive key domain (the workload generators' domain). Prefer
+    /// [`from_sample`](Self::from_sample) or
+    /// [`load_bulk`](Self::load_bulk) when a key sample exists.
+    pub fn new(cfg: ShardConfig) -> Self {
+        cfg.validate();
+        let topo = Topology::empty(Splitters::uniform(cfg.num_shards), cfg.rma);
+        ShardedRma {
+            cfg,
+            topo: RwLock::new(topo),
+        }
+    }
+
+    /// Empty index with explicit splitter keys.
+    pub fn with_splitters(cfg: ShardConfig, splitters: Splitters) -> Self {
+        cfg.validate();
+        let topo = Topology::empty(splitters, cfg.rma);
+        ShardedRma {
+            cfg,
+            topo: RwLock::new(topo),
+        }
+    }
+
+    /// Empty index with splitters learned from a key sample
+    /// (quantiles of the sorted sample).
+    pub fn from_sample(cfg: ShardConfig, sample: &mut [Key]) -> Self {
+        cfg.validate();
+        sample.sort_unstable();
+        let splitters = Splitters::from_sorted_sample(sample, cfg.num_shards);
+        Self::with_splitters(cfg, splitters)
+    }
+
+    pub(crate) fn topo(&self) -> RwLockReadGuard<'_, Topology> {
+        self.topo.read().expect("topology lock poisoned")
+    }
+
+    pub(crate) fn topo_mut(&self) -> RwLockWriteGuard<'_, Topology> {
+        self.topo.write().expect("topology lock poisoned")
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Current number of shards (maintenance may change it).
+    pub fn num_shards(&self) -> usize {
+        self.topo().shards.len()
+    }
+
+    /// Current splitter keys (cloned snapshot).
+    pub fn splitters(&self) -> Splitters {
+        self.topo().splitters.clone()
+    }
+
+    /// Total stored elements. Sums per-shard lengths under read locks;
+    /// concurrent writers may move the value while it is being read.
+    pub fn len(&self) -> usize {
+        let topo = self.topo();
+        topo.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no shard stores any element.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes across all shards.
+    pub fn memory_footprint(&self) -> usize {
+        let topo = self.topo();
+        topo.shards
+            .iter()
+            .map(|s| s.read().memory_footprint())
+            .sum()
+    }
+
+    // ------------------------------------------------- point ops --
+
+    /// Point lookup: routes to one shard and reads under its shared
+    /// lock.
+    pub fn get(&self, k: Key) -> Option<Value> {
+        let topo = self.topo();
+        let shard = &topo.shards[topo.splitters.route(k)];
+        shard.reads.fetch_add(1, Relaxed);
+        let found = shard.read().get(k);
+        found
+    }
+
+    /// Inserts `(k, v)` (duplicates kept): routes to one shard and
+    /// writes under its exclusive lock. A rebalance or resize this
+    /// triggers stays inside the shard.
+    pub fn insert(&self, k: Key, v: Value) {
+        let topo = self.topo();
+        let shard = &topo.shards[topo.splitters.route(k)];
+        shard.writes.fetch_add(1, Relaxed);
+        let mut guard = shard.write();
+        guard.insert(k, v);
+    }
+
+    /// Removes one element with key exactly `k`, returning its value.
+    pub fn remove(&self, k: Key) -> Option<Value> {
+        let topo = self.topo();
+        let shard = &topo.shards[topo.splitters.route(k)];
+        shard.writes.fetch_add(1, Relaxed);
+        let removed = shard.write().remove(k);
+        removed
+    }
+
+    // ------------------------------------------------ validation --
+
+    /// Exhaustive structural check across all shards; test helper.
+    /// Verifies every per-shard RMA invariant plus the sharding
+    /// invariant: each shard's keys lie inside its splitter range
+    /// (equivalently, every stored key routes back to its shard).
+    pub fn check_invariants(&self) {
+        let topo = self.topo();
+        for (i, shard) in topo.shards.iter().enumerate() {
+            let g = shard.read();
+            g.check_invariants();
+            let (lo, hi) = topo.splitters.range_of(i);
+            if let Some((min, _)) = g.first_ge(Key::MIN) {
+                let max = g.iter().last().expect("non-empty shard").0;
+                assert!(
+                    lo.is_none_or(|l| l <= min),
+                    "shard {i} min {min} below lower bound {lo:?}"
+                );
+                assert!(
+                    hi.is_none_or(|h| max < h),
+                    "shard {i} max {max} at/above upper bound {hi:?}"
+                );
+                assert_eq!(topo.splitters.route(min), i, "min routes elsewhere");
+                assert_eq!(topo.splitters.route(max), i, "max routes elsewhere");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_core::RewiringMode;
+
+    pub(crate) fn small_cfg(n: usize) -> ShardConfig {
+        ShardConfig {
+            num_shards: n,
+            rma: RmaConfig {
+                segment_size: 8,
+                rewiring: RewiringMode::Disabled,
+                reserve_bytes: 1 << 24,
+                ..Default::default()
+            },
+            min_split_len: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn point_ops_round_trip() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![250, 500, 750]));
+        for k in 0..1000i64 {
+            s.insert(k, k * 3);
+        }
+        s.check_invariants();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.num_shards(), 4);
+        for k in (0..1000).step_by(37) {
+            assert_eq!(s.get(k), Some(k * 3));
+        }
+        assert_eq!(s.remove(500), Some(1500));
+        assert_eq!(s.get(500), None);
+        assert_eq!(s.len(), 999);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![2500, 5000, 7500]));
+        std::thread::scope(|sc| {
+            for t in 0..4i64 {
+                let s = &s;
+                sc.spawn(move || {
+                    for i in 0..2500i64 {
+                        let k = t * 2500 + i;
+                        s.insert(k, k);
+                        assert_eq!(s.get(k), Some(k));
+                    }
+                });
+            }
+        });
+        s.check_invariants();
+        assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    fn duplicate_heavy_workload_stays_consistent() {
+        let s = ShardedRma::with_splitters(small_cfg(3), Splitters::new(vec![10, 20]));
+        for _ in 0..500 {
+            s.insert(10, 1);
+            s.insert(20, 2);
+            s.insert(15, 3);
+        }
+        s.check_invariants();
+        assert_eq!(s.len(), 1500);
+        // Boundary keys must land right of their splitter.
+        assert_eq!(s.splitters().route(10), 1);
+        assert_eq!(s.splitters().route(20), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge factor")]
+    fn invalid_config_panics() {
+        let cfg = ShardConfig {
+            merge_factor: 3.0,
+            ..ShardConfig::default()
+        };
+        let _ = ShardedRma::new(cfg);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shard maintenance: per-shard load statistics and the split/merge
+//! pass that keeps the shard population balanced as the key
+//! distribution drifts.
+//!
+//! [`ShardedRma::rebalance_shards`] holds the topology write lock, so
+//! it runs exclusively — the sharded analogue of an RMA resize, while
+//! normal operations are the analogue of segment-local rebalances.
+//! Splits and merges rebuild the affected shards through the paper's
+//! bulk-load machinery, so a restructured shard comes out with the
+//! bottom-up layout a freshly loaded RMA would have.
+
+use crate::shard::Shard;
+use crate::ShardedRma;
+use rma_core::{Key, Rma, Value};
+use std::sync::atomic::Ordering::Relaxed;
+
+/// A snapshot of one shard's load.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index in splitter order.
+    pub shard: usize,
+    /// Stored elements.
+    pub len: usize,
+    /// Segments of the inner RMA.
+    pub segments: usize,
+    /// Reads routed to this shard since construction (or since the
+    /// shard was last restructured).
+    pub reads: u64,
+    /// Write operations routed likewise.
+    pub writes: u64,
+    /// Inclusive lower key bound (`None` = unbounded).
+    pub lower_bound: Option<Key>,
+    /// Exclusive upper key bound (`None` = unbounded).
+    pub upper_bound: Option<Key>,
+}
+
+/// What one [`ShardedRma::rebalance_shards`] call changed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Hot shards split in two.
+    pub splits: usize,
+    /// Cold adjacent pairs merged into one.
+    pub merges: usize,
+}
+
+/// Index to split a sorted run at so both halves are non-empty and no
+/// key straddles the cut; `None` when every key is equal.
+fn split_cut(elems: &[(Key, Value)]) -> Option<usize> {
+    if elems.len() < 2 {
+        return None;
+    }
+    let key = elems[elems.len() / 2].0;
+    let cut = elems.partition_point(|p| p.0 < key);
+    if cut > 0 {
+        return Some(cut);
+    }
+    let cut = elems.partition_point(|p| p.0 <= key);
+    (cut < elems.len()).then_some(cut)
+}
+
+impl ShardedRma {
+    /// Per-shard load snapshot, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let topo = self.topo();
+        topo.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let g = s.read();
+                let (lower_bound, upper_bound) = topo.splitters.range_of(i);
+                ShardStats {
+                    shard: i,
+                    len: g.len(),
+                    segments: g.num_segments(),
+                    reads: s.reads.load(Relaxed),
+                    writes: s.writes.load(Relaxed),
+                    lower_bound,
+                    upper_bound,
+                }
+            })
+            .collect()
+    }
+
+    /// Splits shards heavier than `split_factor ×` the mean shard
+    /// length and merges adjacent pairs lighter (combined) than
+    /// `merge_factor ×` the mean. Exclusive: blocks all other
+    /// operations for the duration. Restructured shards restart their
+    /// load counters.
+    pub fn rebalance_shards(&self) -> MaintenanceReport {
+        let mut guard = self.topo_mut();
+        let topo = &mut *guard;
+        let mut report = MaintenanceReport::default();
+        let rma_cfg = self.cfg.rma;
+
+        // Split pass: repeatedly split the heaviest offender. Bounded
+        // so a pathological distribution cannot spin here forever.
+        for _ in 0..64 {
+            let lens: Vec<usize> = topo
+                .shards
+                .iter_mut()
+                .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
+                .collect();
+            let total: usize = lens.iter().sum();
+            if total == 0 {
+                break;
+            }
+            let mean = (total / lens.len()).max(1);
+            let (hot, &hot_len) = lens
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .expect("at least one shard");
+            if (hot_len as f64) <= self.cfg.split_factor * mean as f64
+                || hot_len < self.cfg.min_split_len
+            {
+                break;
+            }
+            let elems: Vec<(Key, Value)> = topo.shards[hot]
+                .rma
+                .get_mut()
+                .expect("shard lock poisoned")
+                .iter()
+                .collect();
+            let Some(cut) = split_cut(&elems) else {
+                break; // one giant duplicate run: nothing to split on
+            };
+            let split_key = elems[cut].0;
+            let mut left = Rma::new(rma_cfg);
+            left.load_bulk(&elems[..cut]);
+            let mut right = Rma::new(rma_cfg);
+            right.load_bulk(&elems[cut..]);
+            topo.splitters.split_shard(hot, split_key);
+            topo.shards[hot] = Shard::new(left);
+            topo.shards.insert(hot + 1, Shard::new(right));
+            report.splits += 1;
+        }
+
+        // Merge pass: collapse the leftmost cold pair until none
+        // remains.
+        for _ in 0..64 {
+            let n = topo.shards.len();
+            if n <= 1 {
+                break;
+            }
+            let lens: Vec<usize> = topo
+                .shards
+                .iter_mut()
+                .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
+                .collect();
+            let total: usize = lens.iter().sum();
+            if total == 0 {
+                break; // keep learned splitters while the index is empty
+            }
+            let mean = (total / n).max(1);
+            let cold = (0..n - 1)
+                .find(|&i| ((lens[i] + lens[i + 1]) as f64) < self.cfg.merge_factor * mean as f64);
+            let Some(i) = cold else { break };
+            let mut elems: Vec<(Key, Value)> = topo.shards[i]
+                .rma
+                .get_mut()
+                .expect("shard lock poisoned")
+                .iter()
+                .collect();
+            // Right neighbour's keys all exceed the removed splitter,
+            // so concatenation preserves sorted order.
+            elems.extend(
+                topo.shards[i + 1]
+                    .rma
+                    .get_mut()
+                    .expect("shard lock poisoned")
+                    .iter(),
+            );
+            let mut merged = Rma::new(rma_cfg);
+            merged.load_bulk(&elems);
+            topo.splitters.merge_with_next(i);
+            topo.shards[i] = Shard::new(merged);
+            topo.shards.remove(i + 1);
+            report.merges += 1;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::small_cfg;
+    use crate::{MaintenanceReport, ShardedRma, Splitters};
+
+    #[test]
+    fn stats_report_bounds_and_counters() {
+        let s = ShardedRma::with_splitters(small_cfg(3), Splitters::new(vec![100, 200]));
+        for k in 0..300i64 {
+            s.insert(k, k);
+        }
+        let _ = s.get(150);
+        let stats = s.shard_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].lower_bound, None);
+        assert_eq!(stats[1].lower_bound, Some(100));
+        assert_eq!(stats[1].upper_bound, Some(200));
+        assert_eq!(stats.iter().map(|st| st.len).sum::<usize>(), 300);
+        assert_eq!(stats[1].reads, 1);
+        assert!(stats.iter().all(|st| st.writes == 100));
+    }
+
+    #[test]
+    fn hot_shard_splits() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![1000, 2000, 3000]));
+        // Hammer shard 0 only.
+        for k in 0..1000i64 {
+            s.insert(k, k);
+        }
+        let before = s.collect_all();
+        let report = s.rebalance_shards();
+        assert!(report.splits >= 1, "skewed load must split: {report:?}");
+        s.check_invariants();
+        assert_eq!(s.collect_all(), before, "maintenance must not lose data");
+        let stats = s.shard_stats();
+        let max = stats.iter().map(|st| st.len).max().unwrap();
+        assert!(max < 1000, "hot shard still intact: {stats:?}");
+    }
+
+    #[test]
+    fn cold_neighbours_merge() {
+        let splitters: Vec<i64> = (1..16).map(|i| i * 100).collect();
+        let s = ShardedRma::with_splitters(small_cfg(16), Splitters::new(splitters));
+        // Only two shards get data; the rest are cold and merge away.
+        for k in 0..100i64 {
+            s.insert(k, k);
+            s.insert(1500 + k, k);
+        }
+        let before = s.collect_all();
+        let report = s.rebalance_shards();
+        assert!(report.merges >= 1, "{report:?}");
+        s.check_invariants();
+        assert!(s.num_shards() < 16);
+        assert_eq!(s.collect_all(), before);
+    }
+
+    #[test]
+    fn balanced_load_is_left_alone() {
+        let batch: Vec<(i64, i64)> = (0..8000).map(|i| (i, i)).collect();
+        let s = ShardedRma::load_bulk(small_cfg(8), &batch);
+        assert_eq!(s.rebalance_shards(), MaintenanceReport::default());
+        assert_eq!(s.num_shards(), 8);
+    }
+
+    #[test]
+    fn duplicate_only_shard_does_not_split() {
+        let s = ShardedRma::with_splitters(small_cfg(2), Splitters::new(vec![1000]));
+        for _ in 0..500 {
+            s.insert(7, 7);
+        }
+        let report = s.rebalance_shards();
+        assert_eq!(report.splits, 0);
+        s.check_invariants();
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn empty_index_keeps_its_splitters() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![10, 20, 30]));
+        assert_eq!(s.rebalance_shards(), MaintenanceReport::default());
+        assert_eq!(s.num_shards(), 4);
+    }
+}

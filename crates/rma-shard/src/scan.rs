@@ -1,0 +1,160 @@
+//! Cross-shard reads: scans, range sums and successor operations
+//! stitched across shard boundaries.
+//!
+//! Shards cover disjoint, contiguous key ranges in shard order, so a
+//! range operation starts at the routed shard and walks right,
+//! continuing from `Key::MIN` inside every subsequent shard (whose
+//! keys all exceed the previous shard's upper bound). Locks are taken
+//! one shard at a time — see the crate docs for the consistency
+//! contract.
+
+use crate::ShardedRma;
+use rma_core::{Key, Value};
+use std::sync::atomic::Ordering::Relaxed;
+
+impl ShardedRma {
+    /// Visits up to `count` elements in key order starting from the
+    /// first element `>= start`; returns the number visited.
+    pub fn scan<F: FnMut(Key, Value)>(&self, start: Key, count: usize, mut f: F) -> usize {
+        let topo = self.topo();
+        let first = topo.splitters.route(start);
+        let mut visited = 0usize;
+        for (i, shard) in topo.shards.iter().enumerate().skip(first) {
+            if visited >= count {
+                break;
+            }
+            shard.reads.fetch_add(1, Relaxed);
+            let from = if i == first { start } else { Key::MIN };
+            visited += shard.read().scan(from, count - visited, &mut f);
+        }
+        visited
+    }
+
+    /// Sums up to `count` values starting at the first key `>= start`
+    /// — the paper's scan kernel, stitched across shards.
+    pub fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
+        let topo = self.topo();
+        let first = topo.splitters.route(start);
+        let mut visited = 0usize;
+        let mut sum = 0i64;
+        for (i, shard) in topo.shards.iter().enumerate().skip(first) {
+            if visited >= count {
+                break;
+            }
+            shard.reads.fetch_add(1, Relaxed);
+            let from = if i == first { start } else { Key::MIN };
+            let (n, s) = shard.read().sum_range(from, count - visited);
+            visited += n;
+            sum = sum.wrapping_add(s);
+        }
+        (visited, sum)
+    }
+
+    /// First element with key `>= k` in sorted order.
+    pub fn first_ge(&self, k: Key) -> Option<(Key, Value)> {
+        let topo = self.topo();
+        let first = topo.splitters.route(k);
+        for (i, shard) in topo.shards.iter().enumerate().skip(first) {
+            shard.reads.fetch_add(1, Relaxed);
+            let from = if i == first { k } else { Key::MIN };
+            if let Some(hit) = shard.read().first_ge(from) {
+                return Some(hit);
+            }
+        }
+        None
+    }
+
+    /// Removes the first element with key `>= k`, or the maximum when
+    /// every key is smaller (the mixed-workload delete operator).
+    /// Returns `None` only on an empty index.
+    pub fn remove_successor(&self, k: Key) -> Option<(Key, Value)> {
+        let topo = self.topo();
+        let start = topo.splitters.route(k);
+        // Shards right of `start` hold only keys > k, so the first
+        // non-empty one (checked under its write lock) has the
+        // successor.
+        for (i, shard) in topo.shards.iter().enumerate().skip(start) {
+            let mut g = shard.write();
+            let from = if i == start { k } else { Key::MIN };
+            if g.first_ge(from).is_some() {
+                shard.writes.fetch_add(1, Relaxed);
+                return g.remove_successor(from);
+            }
+        }
+        // No successor anywhere: remove the global maximum, which
+        // lives in the rightmost non-empty shard at or left of
+        // `start`.
+        for shard in topo.shards[..=start].iter().rev() {
+            let mut g = shard.write();
+            if !g.is_empty() {
+                shard.writes.fetch_add(1, Relaxed);
+                return g.remove_successor(Key::MAX);
+            }
+        }
+        None
+    }
+
+    /// Collects every element in key order — test/debug helper (holds
+    /// one shard read lock at a time).
+    pub fn collect_all(&self) -> Vec<(Key, Value)> {
+        let topo = self.topo();
+        let mut out = Vec::new();
+        for shard in &topo.shards {
+            out.extend(shard.read().iter());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::small_cfg;
+    use crate::{ShardedRma, Splitters};
+
+    fn populated() -> ShardedRma {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![250, 500, 750]));
+        for k in (0..1000i64).step_by(2) {
+            s.insert(k, 1);
+        }
+        s
+    }
+
+    #[test]
+    fn scan_stitches_across_shards() {
+        let s = populated();
+        let mut seen = Vec::new();
+        let n = s.scan(240, 20, |k, _| seen.push(k));
+        assert_eq!(n, 20);
+        let want: Vec<i64> = (240..280).step_by(2).collect();
+        assert_eq!(seen, want, "scan must cross the 250 boundary seamlessly");
+    }
+
+    #[test]
+    fn sum_range_spans_all_shards() {
+        let s = populated();
+        let (n, sum) = s.sum_range(i64::MIN, usize::MAX);
+        assert_eq!(n, 500);
+        assert_eq!(sum, 500);
+        assert_eq!(s.sum_range(999, 10).0, 0);
+    }
+
+    #[test]
+    fn first_ge_crosses_empty_shards() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![250, 500, 750]));
+        s.insert(900, 9);
+        assert_eq!(s.first_ge(0), Some((900, 9)));
+        assert_eq!(s.first_ge(901), None);
+    }
+
+    #[test]
+    fn remove_successor_semantics_match_rma() {
+        let s = ShardedRma::with_splitters(small_cfg(3), Splitters::new(vec![100, 200]));
+        for k in [10i64, 150, 250] {
+            s.insert(k, k);
+        }
+        assert_eq!(s.remove_successor(120), Some((150, 150)));
+        assert_eq!(s.remove_successor(1000), Some((250, 250))); // max fallback
+        assert_eq!(s.remove_successor(0), Some((10, 10)));
+        assert_eq!(s.remove_successor(0), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! One shard: an independent [`Rma`] behind an `RwLock`, plus cheap
+//! per-shard load counters.
+
+use crate::splitter::Splitters;
+use rma_core::Rma;
+use std::sync::atomic::AtomicU64;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A single key-range shard. Rebalances and resizes inside the inner
+/// RMA happen under this shard's write lock and therefore never block
+/// operations on sibling shards.
+pub(crate) struct Shard {
+    pub(crate) rma: RwLock<Rma>,
+    /// Point/scan reads routed to this shard since construction.
+    pub(crate) reads: AtomicU64,
+    /// Inserts/removes/batch elements routed to this shard.
+    pub(crate) writes: AtomicU64,
+}
+
+impl Shard {
+    pub(crate) fn new(rma: Rma) -> Self {
+        Shard {
+            rma: RwLock::new(rma),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Rma> {
+        self.rma.read().expect("shard lock poisoned")
+    }
+
+    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Rma> {
+        self.rma.write().expect("shard lock poisoned")
+    }
+}
+
+/// The sharding topology: splitters plus one shard per range. Guarded
+/// by an outer `RwLock` in [`crate::ShardedRma`]; point and batch
+/// operations hold it for read (shared), shard maintenance
+/// (split/merge) holds it for write (exclusive).
+pub(crate) struct Topology {
+    pub(crate) splitters: Splitters,
+    pub(crate) shards: Vec<Shard>,
+}
+
+impl Topology {
+    /// Empty shards for the given splitters.
+    pub(crate) fn empty(splitters: Splitters, rma_cfg: rma_core::RmaConfig) -> Self {
+        let shards = (0..splitters.num_shards())
+            .map(|_| Shard::new(Rma::new(rma_cfg)))
+            .collect();
+        Topology { splitters, shards }
+    }
+}

@@ -12,11 +12,13 @@
 //! signed integer key paired with an 8-byte value, matching the paper's
 //! "8 byte key/value integer pairs".
 
+pub mod batches;
 pub mod mixed;
 pub mod scans;
 pub mod xorshift;
 pub mod zipf;
 
+pub use batches::{partition_sorted, BatchStream, PartitionedBatch};
 pub use mixed::{MixedWorkload, Op};
 pub use scans::ScanRanges;
 pub use xorshift::SplitMix64;

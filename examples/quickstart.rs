@@ -46,13 +46,15 @@ fn main() {
     let batch: Vec<(i64, i64)> = (1_000_000..1_010_000).map(|k| (k, -k)).collect();
     index.load_bulk(&batch);
     assert_eq!(index.get(1_005_000), Some(-1_005_000));
-    println!("bulk-loaded {} more elements, len = {}", batch.len(), index.len());
+    println!(
+        "bulk-loaded {} more elements, len = {}",
+        batch.len(),
+        index.len()
+    );
 
     // The scan-oriented preset keeps the array ~75% dense for even
     // faster scans at some update cost.
-    let mut scan_opt = Rma::new(
-        RmaConfig::default().with_thresholds(Thresholds::scan_oriented()),
-    );
+    let mut scan_opt = Rma::new(RmaConfig::default().with_thresholds(Thresholds::scan_oriented()));
     for k in 0..100_000 {
         scan_opt.insert(k, k);
     }

@@ -1,0 +1,153 @@
+//! A multi-threaded mixed OLTP/scan "server" on the sharded RMA.
+//!
+//! Simulates the deployment shape the sharded front-end is for: OLTP
+//! writers stream inserts and successor-deletes, analytic readers run
+//! range sums concurrently, an ingest thread applies partitioned
+//! batches, and a maintenance thread periodically splits hot shards /
+//! merges cold ones — all against one shared [`ShardedRma`] with no
+//! `&mut` anywhere.
+//!
+//! Run with: `cargo run --release --example sharded_server`
+
+use rma_repro::shard::{ShardConfig, ShardedRma};
+use rma_repro::workloads::{BatchStream, KeyStream, Pattern, SplitMix64};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+const PRELOAD: usize = 200_000;
+const WRITERS: usize = 2;
+const READERS: usize = 2;
+const OPS_PER_WRITER: usize = 100_000;
+const SCANS_PER_READER: usize = 2_000;
+const BATCHES: usize = 20;
+const BATCH_LEN: usize = 5_000;
+
+fn main() {
+    // Bootstrap from a bulk load; splitters are learned from the
+    // batch quantiles so the shards start balanced.
+    let mut base = KeyStream::new(Pattern::Uniform, 7).take_pairs(PRELOAD);
+    base.sort_unstable();
+    let index = ShardedRma::load_bulk(ShardConfig::with_shards(16), &base);
+    println!(
+        "server up: {} elements across {} shards",
+        index.len(),
+        index.num_shards()
+    );
+
+    let stop = AtomicBool::new(false);
+    let scanned = AtomicU64::new(0);
+    let started = Instant::now();
+
+    std::thread::scope(|sc| {
+        // OLTP writers: skewed inserts (front of the key space is
+        // hot) interleaved with successor-deletes.
+        for w in 0..WRITERS {
+            let index = &index;
+            sc.spawn(move || {
+                let mut stream = KeyStream::new(
+                    Pattern::Zipf {
+                        alpha: 1.0,
+                        beta: 1 << 20,
+                    },
+                    100 + w as u64,
+                );
+                for i in 0..OPS_PER_WRITER {
+                    let (k, v) = stream.next_pair();
+                    if i % 4 == 3 {
+                        index.remove_successor(k);
+                    } else {
+                        index.insert(k, v);
+                    }
+                }
+            });
+        }
+
+        // Analytic readers: random-start range sums.
+        for r in 0..READERS {
+            let (index, stop, scanned) = (&index, &stop, &scanned);
+            sc.spawn(move || {
+                let mut rng = SplitMix64::new(900 + r as u64);
+                let mut done = 0usize;
+                while !stop.load(Relaxed) && done < SCANS_PER_READER {
+                    let start = (rng.next_u64() >> 2) as i64;
+                    let (n, _) = index.sum_range(start, 1_000);
+                    scanned.fetch_add(n as u64, Relaxed);
+                    done += 1;
+                }
+            });
+        }
+
+        // Bulk ingest: sorted uniform batches through the parallel
+        // partitioned-batch path.
+        {
+            let index = &index;
+            sc.spawn(move || {
+                let mut batches = BatchStream::new(Pattern::Uniform, 55);
+                for _ in 0..BATCHES {
+                    let batch = batches.next_batch(BATCH_LEN);
+                    index.apply_batch(&batch, &[]);
+                }
+            });
+        }
+
+        // Maintenance: split hot shards / merge cold neighbours while
+        // traffic flows.
+        {
+            let (index, stop) = (&index, &stop);
+            sc.spawn(move || {
+                let mut reports = Vec::new();
+                while !stop.load(Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    reports.push(index.rebalance_shards());
+                }
+                let (splits, merges) = reports
+                    .iter()
+                    .fold((0, 0), |(s, m), r| (s + r.splits, m + r.merges));
+                println!("maintenance: {splits} splits, {merges} merges");
+            });
+        }
+
+        // Writers and ingest finish on their own; then release the
+        // readers and the maintenance loop.
+        // (Scoped threads join automatically at the end of the scope,
+        // but readers poll `stop`, so flip it once writers are done.)
+        let index = &index;
+        let stop = &stop;
+        sc.spawn(move || {
+            // Watch writer progress by shard length stabilisation: the
+            // writer/ingest threads above are bounded, so simply wait
+            // until the expected op volume has landed.
+            let expected_inserts = WRITERS * OPS_PER_WRITER * 3 / 4 + BATCHES * BATCH_LEN;
+            let expected_deletes = WRITERS * OPS_PER_WRITER / 4;
+            let target = PRELOAD + expected_inserts - expected_deletes;
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                if index.len() == target {
+                    break;
+                }
+            }
+            stop.store(true, Relaxed);
+        });
+    });
+
+    let secs = started.elapsed().as_secs_f64();
+    index.check_invariants();
+    println!(
+        "done in {secs:.2}s: {} elements, {} shards, {} elements scanned",
+        index.len(),
+        index.num_shards(),
+        scanned.load(Relaxed)
+    );
+    println!("\nper-shard load (len / reads / writes):");
+    for st in index.shard_stats() {
+        println!(
+            "  shard {:>2} [{:>20} .. {:<20}) len={:<8} reads={:<7} writes={}",
+            st.shard,
+            st.lower_bound.map_or("-inf".into(), |k| k.to_string()),
+            st.upper_bound.map_or("+inf".into(), |k| k.to_string()),
+            st.len,
+            st.reads,
+            st.writes
+        );
+    }
+}

@@ -7,6 +7,11 @@
 //!   contribution): a sparse array with clustered fixed-size segments,
 //!   a static index, memory-rewired rebalances and adaptive
 //!   rebalancing;
+//! * [`shard`] — the **sharded concurrent front-end**: key-range
+//!   sharding over independent `RwLock<Rma>` shards with branch-free
+//!   routing, stitched scans, parallel batch ingest and hot/cold
+//!   shard maintenance — the first layer growing the reproduction
+//!   toward a production-scale multi-client system;
 //! * [`pma`] — the Traditional PMA baseline and the APMA
 //!   re-implementation;
 //! * [`abtree`] — the (a,b)-tree comparator and the static dense
@@ -14,7 +19,7 @@
 //! * [`art`] — an Adaptive Radix Tree and the trie-indexed (a,b)-tree;
 //! * [`rewiring`] — the `memfd`/`mmap` virtual-memory substrate;
 //! * [`workloads`] — deterministic workload generators (uniform /
-//!   Zipf / sequential / mixed / batched).
+//!   Zipf / sequential / mixed / batched / partitioned-batched).
 //!
 //! ```
 //! use rma_repro::rma::{Rma, RmaConfig};
@@ -27,10 +32,32 @@
 //! let (visited, sum) = index.sum_range(i64::MIN, 2);
 //! assert_eq!((visited, sum), (2, 3));
 //! ```
+//!
+//! For concurrent callers, wrap the same operations in the sharded
+//! front-end — every operation takes `&self` and locks only the
+//! shard(s) it touches:
+//!
+//! ```
+//! use rma_repro::shard::{ShardConfig, ShardedRma};
+//!
+//! let index = ShardedRma::new(ShardConfig::default());
+//! std::thread::scope(|s| {
+//!     for t in 0..4i64 {
+//!         let index = &index;
+//!         s.spawn(move || {
+//!             for i in 0..100 {
+//!                 index.insert(t * 100 + i, i);
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(index.len(), 400);
+//! ```
 
 pub use abtree;
 pub use art;
 pub use pma_baseline as pma;
 pub use rewiring;
 pub use rma_core as rma;
+pub use rma_shard as shard;
 pub use workloads;

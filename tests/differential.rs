@@ -85,7 +85,12 @@ fn drive<S>(
                 let k = keys.next_key();
                 let got = remove(&mut structure, k).is_some();
                 let want = oracle.remove_exact(k);
-                assert_eq!(got, want, "{label}/{:?}: remove {k} at step {step}", pattern.label());
+                assert_eq!(
+                    got,
+                    want,
+                    "{label}/{:?}: remove {k} at step {step}",
+                    pattern.label()
+                );
             }
             6..=7 => {
                 let k = keys.next_key();

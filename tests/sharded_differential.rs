@@ -1,0 +1,237 @@
+//! Differential tests for the sharded front-end: a [`ShardedRma`]
+//! must behave exactly like one big [`Rma`] and like a `BTreeMap`
+//! multiset oracle under mixed workloads — including across shard
+//! maintenance — plus property tests for the routing and stitching
+//! invariants.
+
+use proptest::prelude::*;
+use rma_repro::rma::{RewiringMode, Rma, RmaConfig};
+use rma_repro::shard::{ShardConfig, ShardedRma, Splitters};
+use std::collections::BTreeMap;
+
+fn small_rma() -> RmaConfig {
+    RmaConfig {
+        segment_size: 8,
+        rewiring: RewiringMode::Disabled,
+        reserve_bytes: 1 << 24,
+        ..Default::default()
+    }
+}
+
+fn small_sharded(n: usize) -> ShardConfig {
+    ShardConfig {
+        num_shards: n,
+        rma: small_rma(),
+        min_split_len: 64,
+        ..Default::default()
+    }
+}
+
+/// Multiset oracle helpers.
+fn oracle_insert(o: &mut BTreeMap<i64, usize>, k: i64) {
+    *o.entry(k).or_insert(0) += 1;
+}
+
+fn oracle_remove_succ(o: &mut BTreeMap<i64, usize>, k: i64) -> Option<i64> {
+    let kk = o
+        .range(k..)
+        .next()
+        .map(|(&kk, _)| kk)
+        .or_else(|| o.keys().next_back().copied())?;
+    let c = o.get_mut(&kk).expect("key present");
+    *c -= 1;
+    if *c == 0 {
+        o.remove(&kk);
+    }
+    Some(kk)
+}
+
+#[test]
+fn mixed_churn_matches_rma_and_btreemap() {
+    let sharded =
+        ShardedRma::with_splitters(small_sharded(4), Splitters::new(vec![512, 1024, 1536]));
+    let mut single = Rma::new(small_rma());
+    let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
+    let mut x = 1234u64;
+    for step in 0..40_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = ((x >> 48) & 0x7FF) as i64; // keys in [0, 2048): all four shards
+        match step % 5 {
+            4 => {
+                let got = sharded.remove_successor(k).map(|(kk, _)| kk);
+                let single_got = single.remove_successor(k).map(|(kk, _)| kk);
+                let want = oracle_remove_succ(&mut oracle, k);
+                assert_eq!(got, want, "step {step} remove_successor({k})");
+                assert_eq!(single_got, want, "oracle drift at step {step}");
+            }
+            3 => {
+                let got = sharded.remove(k);
+                let single_got = single.remove(k);
+                let present = oracle.get(&k).copied().unwrap_or(0) > 0;
+                assert_eq!(got.is_some(), present, "step {step} remove({k})");
+                assert_eq!(single_got.is_some(), present);
+                if present {
+                    let c = oracle.get_mut(&k).expect("present");
+                    *c -= 1;
+                    if *c == 0 {
+                        oracle.remove(&k);
+                    }
+                }
+            }
+            _ => {
+                // Value is a function of the key: which duplicate
+                // instance a remove takes is layout-dependent, so
+                // distinct values per instance would make sums
+                // incomparable.
+                sharded.insert(k, k * 3);
+                single.insert(k, k * 3);
+                oracle_insert(&mut oracle, k);
+            }
+        }
+        if step % 2_000 == 1_999 {
+            // Scans must agree everywhere, mid-churn.
+            let start = (k - 100).max(0);
+            assert_eq!(
+                sharded.sum_range(start, 300),
+                single.sum_range(start, 300),
+                "step {step} sum_range({start})"
+            );
+            let total: usize = oracle.values().sum();
+            assert_eq!(sharded.len(), total, "step {step} len");
+        }
+        if step % 10_000 == 9_999 {
+            // Shard maintenance mid-workload must not change content.
+            sharded.rebalance_shards();
+            sharded.check_invariants();
+        }
+    }
+    sharded.check_invariants();
+    let got: Vec<i64> = sharded.collect_all().iter().map(|p| p.0).collect();
+    let want: Vec<i64> = oracle
+        .iter()
+        .flat_map(|(&k, &c)| std::iter::repeat_n(k, c))
+        .collect();
+    assert_eq!(got, want, "final content");
+}
+
+#[test]
+fn apply_batch_matches_unsharded_apply_batch() {
+    let mut base: Vec<(i64, i64)> =
+        rma_repro::workloads::KeyStream::new(rma_repro::workloads::Pattern::Uniform, 11)
+            .take_pairs(20_000);
+    base.sort_unstable();
+    let sharded = ShardedRma::load_bulk(small_sharded(8), &base);
+    let mut single = Rma::new(small_rma());
+    single.load_bulk(&base);
+
+    let mut batches =
+        rma_repro::workloads::BatchStream::new(rma_repro::workloads::Pattern::Uniform, 22);
+    for round in 0..10 {
+        let inserts = batches.next_batch(2_000);
+        // Delete every third key of the previous batch (exact keys).
+        let deletes: Vec<i64> = inserts.iter().step_by(3).map(|p| p.0).collect();
+        let a = sharded.apply_batch(&inserts, &deletes);
+        let b = single.apply_batch(&inserts, &deletes);
+        assert_eq!(a, b, "round {round} deleted counts");
+        assert_eq!(sharded.len(), single.len(), "round {round} len");
+    }
+    sharded.check_invariants();
+    assert_eq!(
+        sharded
+            .collect_all()
+            .iter()
+            .map(|p| p.0)
+            .collect::<Vec<_>>(),
+        single.iter().map(|p| p.0).collect::<Vec<_>>(),
+        "content after batched churn"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Routing invariant: every key lands in exactly one shard, and
+    /// that shard is the one whose splitter range contains it.
+    #[test]
+    fn every_key_routes_to_exactly_one_shard(
+        mut raw_splitters in prop::collection::vec(-1000i64..1000, 0..12),
+        keys in prop::collection::vec(-1200i64..1200, 1..200),
+    ) {
+        raw_splitters.sort_unstable();
+        raw_splitters.dedup();
+        let s = Splitters::new(raw_splitters.clone());
+        for &k in &keys {
+            let i = s.route(k);
+            // Exactly the partition_point count — one shard, the
+            // right shard.
+            prop_assert_eq!(i, raw_splitters.partition_point(|&sep| sep <= k));
+            let (lo, hi) = s.range_of(i);
+            prop_assert!(lo.is_none_or(|l| l <= k), "key below its shard range");
+            prop_assert!(hi.is_none_or(|h| k < h), "key at/above its shard range");
+        }
+    }
+
+    /// Splitter invariant under inserts: stored keys route back to
+    /// the shard that physically holds them (check_invariants
+    /// asserts routing consistency internally).
+    #[test]
+    fn inserts_respect_shard_bounds(
+        mut raw_splitters in prop::collection::vec(0i64..500, 1..6),
+        keys in prop::collection::vec(-100i64..600, 1..300),
+    ) {
+        raw_splitters.sort_unstable();
+        raw_splitters.dedup();
+        let sharded = ShardedRma::with_splitters(small_sharded(1), Splitters::new(raw_splitters));
+        for &k in &keys {
+            sharded.insert(k, k);
+        }
+        sharded.check_invariants();
+        prop_assert_eq!(sharded.len(), keys.len());
+    }
+
+    /// Stitched scans equal the oracle scan for arbitrary splitter
+    /// placements, starts and counts.
+    #[test]
+    fn stitched_scans_equal_oracle(
+        mut raw_splitters in prop::collection::vec(0i64..2000, 0..8),
+        keys in prop::collection::vec(0i64..2000, 1..400),
+        start in -100i64..2200,
+        count in 1usize..300,
+    ) {
+        raw_splitters.sort_unstable();
+        raw_splitters.dedup();
+        let sharded = ShardedRma::with_splitters(small_sharded(1), Splitters::new(raw_splitters));
+        let mut single = Rma::new(small_rma());
+        for &k in &keys {
+            sharded.insert(k, 1);
+            single.insert(k, 1);
+        }
+        prop_assert_eq!(sharded.sum_range(start, count), single.sum_range(start, count));
+        let mut got = Vec::new();
+        let n = sharded.scan(start, count, |k, v| got.push((k, v)));
+        let mut want = Vec::new();
+        let m = single.scan(start, count, |k, v| want.push((k, v)));
+        prop_assert_eq!(n, m);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(sharded.first_ge(start), single.first_ge(start));
+    }
+
+    /// Bulk construction equals element-wise insertion.
+    #[test]
+    fn load_bulk_equals_inserts(mut keys in prop::collection::vec(0i64..5000, 1..500)) {
+        keys.sort_unstable();
+        let batch: Vec<(i64, i64)> = keys.iter().map(|&k| (k, -k)).collect();
+        let bulk = ShardedRma::load_bulk(small_sharded(4), &batch);
+        let singles = ShardedRma::with_splitters(small_sharded(1), bulk.splitters());
+        for &(k, v) in &batch {
+            singles.insert(k, v);
+        }
+        bulk.check_invariants();
+        prop_assert_eq!(
+            bulk.collect_all().iter().map(|p| p.0).collect::<Vec<_>>(),
+            singles.collect_all().iter().map(|p| p.0).collect::<Vec<_>>()
+        );
+    }
+}
