@@ -1,0 +1,214 @@
+//! Figure 16 (beyond the paper) — online splitter re-learning under a
+//! shifting hotspot.
+//!
+//! Drives a [`ShardedRma`] with the seeded shifting-hotspot workload
+//! (a hammered band covering 1/64th of the key domain that jumps to a
+//! fresh position every phase) and compares two maintenance modes
+//! over the same operation stream:
+//!
+//! * `median_baseline` — PR 1 behaviour: length-driven split/merge at
+//!   the key median, no re-learning ([`BalancePolicy::ByLen`]);
+//! * `relearn` — access-driven maintenance: split points from the
+//!   histogram CDF plus multi-way splitter re-learning
+//!   ([`ShardedRma::relearn_splitters`]).
+//!
+//! Each phase runs half its operations, calls
+//! [`maintain`](ShardedRma::maintain), resets the (measurement)
+//! histograms, runs the second half, and records the max/mean shard
+//! access imbalance of that second half — i.e. how well the topology
+//! fits the *current* hotspot after maintenance had one chance to
+//! adapt. `imbalance_before` is the imbalance observed at the
+//! maintenance point (how skewed the phase's first half was).
+//!
+//! Writes `BENCH_splitter_relearning.json`; the schema is documented
+//! in `crates/bench-harness/README.md`.
+
+use bench_harness::Cli;
+use rma_core::RmaConfig;
+use rma_shard::{BalancePolicy, ShardConfig, ShardedRma};
+use workloads::{HotspotConfig, HotspotMotion, ShiftingHotspot, SplitMix64};
+
+const SHARDS: usize = 8;
+const PHASES: u64 = 6;
+
+#[derive(Clone, Copy)]
+struct PhaseRow {
+    phase: u64,
+    imbalance_before: f64,
+    imbalance_after: f64,
+    relearned: bool,
+    splits: usize,
+    merges: usize,
+    shards: usize,
+}
+
+fn mode_config(cli: &Cli, relearn: bool) -> ShardConfig {
+    ShardConfig {
+        num_shards: SHARDS,
+        rma: RmaConfig::with_segment_size(cli.seg),
+        min_split_len: 256,
+        relearn,
+        balance: if relearn {
+            BalancePolicy::ByAccess
+        } else {
+            BalancePolicy::ByLen
+        },
+        ..Default::default()
+    }
+}
+
+fn run_mode(cli: &Cli, relearn: bool) -> Vec<PhaseRow> {
+    let phase_ops = cli.scale as u64;
+    let hotspot_cfg = HotspotConfig {
+        phase_len: phase_ops,
+        motion: HotspotMotion::Jump,
+        ..Default::default()
+    };
+    let mut ops = ShiftingHotspot::new(hotspot_cfg, cli.seed);
+
+    // Pre-load with uniform keys so every shard starts with residents.
+    let mut base: Vec<(i64, i64)> = {
+        let mut rng = SplitMix64::new(cli.seed ^ 0xB00B_5EED);
+        (0..cli.scale)
+            .map(|i| ((rng.next_u64() >> 2) as i64, i as i64))
+            .collect()
+    };
+    base.sort_unstable();
+    let index = ShardedRma::load_bulk(mode_config(cli, relearn), &base);
+
+    let mut rows = Vec::new();
+    let half = (phase_ops / 2).max(1);
+    for phase in 0..PHASES {
+        // Scope the access signal to this phase: maintenance decides
+        // from the current hotspot only, and the post-maintenance
+        // measurement attributes mass to this phase alone.
+        index.reset_access_stats();
+        let mut run_half = |n: u64| {
+            for i in 0..n {
+                let (k, v) = ops.next_pair();
+                if i % 2 == 0 {
+                    index.insert(k, v);
+                } else {
+                    std::hint::black_box(index.get(k));
+                }
+            }
+        };
+        run_half(half);
+        let imbalance_before = index.access_imbalance();
+        let (rl, mt) = index.maintain();
+        index.reset_access_stats();
+        run_half(phase_ops - half);
+        rows.push(PhaseRow {
+            phase,
+            imbalance_before,
+            imbalance_after: index.access_imbalance(),
+            relearned: rl.relearned,
+            splits: mt.splits,
+            merges: mt.merges,
+            shards: index.num_shards(),
+        });
+        // Drain the remainder of the phase's ops so both modes stay
+        // aligned with the generator's phase boundaries.
+        while ops.emitted() < (phase + 1) * phase_ops {
+            ops.next_key();
+        }
+        index.check_invariants();
+    }
+    rows
+}
+
+fn mean_after(rows: &[PhaseRow]) -> f64 {
+    rows.iter().map(|r| r.imbalance_after).sum::<f64>() / rows.len() as f64
+}
+
+fn write_json(path: &str, modes: &[(&str, &[PhaseRow])], cli: &Cli) -> std::io::Result<()> {
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"splitter_relearning\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {},\n  \"phases\": {PHASES},\n  \"shards\": {SHARDS},\n",
+        cli.scale
+    ));
+    json.push_str(&format!(
+        "  \"seed\": {},\n  \"segment_size\": {},\n",
+        cli.seed, cli.seg
+    ));
+    json.push_str("  \"hot_fraction\": 0.9,\n  \"hot_width_frac\": 0.015625,\n");
+    json.push_str("  \"results\": [\n");
+    let total_rows: usize = modes.iter().map(|(_, r)| r.len()).sum();
+    let mut emitted = 0usize;
+    for (mode, rows) in modes {
+        for r in *rows {
+            emitted += 1;
+            json.push_str(&format!(
+                "    {{\"mode\": \"{mode}\", \"phase\": {}, \"imbalance_before\": {:.4}, \
+                 \"imbalance_after\": {:.4}, \"relearned\": {}, \"splits\": {}, \
+                 \"merges\": {}, \"shards\": {}}}{}\n",
+                r.phase,
+                r.imbalance_before,
+                r.imbalance_after,
+                r.relearned,
+                r.splits,
+                r.merges,
+                r.shards,
+                if emitted < total_rows { "," } else { "" }
+            ));
+        }
+    }
+    json.push_str("  ],\n");
+    let base = mean_after(modes[0].1);
+    let relearn = mean_after(modes[1].1);
+    json.push_str(&format!(
+        "  \"mean_imbalance_baseline\": {base:.4},\n  \"mean_imbalance_relearn\": {relearn:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"imbalance_ratio\": {:.4}\n}}\n",
+        relearn / base.max(1e-12)
+    ));
+    std::fs::write(path, json)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "# Fig. 16 — splitter re-learning under a shifting hotspot: N={} preloaded, {} ops/phase, {PHASES} phases, {SHARDS} shards, B={}",
+        cli.scale, cli.scale, cli.seg
+    );
+    let baseline = run_mode(&cli, false);
+    let relearn = run_mode(&cli, true);
+
+    println!(
+        "{:<7} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "phase", "base before", "base after", "rl before", "rl after", "topology"
+    );
+    for (b, r) in baseline.iter().zip(&relearn) {
+        println!(
+            "{:<7} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>10}",
+            b.phase,
+            b.imbalance_before,
+            b.imbalance_after,
+            r.imbalance_before,
+            r.imbalance_after,
+            format!(
+                "{}{}s{}m",
+                if r.relearned { "R" } else { "-" },
+                r.splits,
+                r.merges
+            )
+        );
+    }
+    let (mb, mr) = (mean_after(&baseline), mean_after(&relearn));
+    println!(
+        "# mean post-maintenance imbalance: baseline {mb:.2}, relearn {mr:.2}, ratio {:.3}",
+        mr / mb.max(1e-12)
+    );
+
+    let path = "BENCH_splitter_relearning.json";
+    match write_json(
+        path,
+        &[("median_baseline", &baseline), ("relearn", &relearn)],
+        &cli,
+    ) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

@@ -53,11 +53,16 @@ impl ShardedRma {
 
         let shards: Vec<Shard> = rmas
             .into_iter()
-            .map(|r| Shard::new(r.expect("worker filled every slot")))
+            .enumerate()
+            .map(|(i, r)| {
+                let (lo, hi) = splitters.range_of(i);
+                Shard::new(r.expect("worker filled every slot"), lo, hi, &cfg)
+            })
             .collect();
         ShardedRma {
             cfg,
             topo: RwLock::new(Topology { splitters, shards }),
+            op_clock: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -96,9 +101,15 @@ impl ShardedRma {
                 sc.spawn(move || {
                     for &i in work.iter().skip(tid).step_by(t) {
                         let shard = &topo.shards[i];
-                        shard
-                            .writes
-                            .fetch_add((parts[i].len() + dels[i].len()) as u64, Relaxed);
+                        let batch_ops = (parts[i].len() + dels[i].len()) as u64;
+                        shard.writes.fetch_add(batch_ops, Relaxed);
+                        for &(k, _) in &inserts[parts[i].clone()] {
+                            shard.stats.record(k);
+                        }
+                        for &k in &dels[i] {
+                            shard.stats.record(k);
+                        }
+                        self.tick_decay(topo, batch_ops);
                         let d = shard
                             .write()
                             .apply_batch(&inserts[parts[i].clone()], &dels[i]);

@@ -18,9 +18,20 @@
 //! * [`apply_batch`](ShardedRma::apply_batch) partitions a sorted
 //!   batch by shard and applies the sub-batches on parallel threads
 //!   through the paper's bottom-up bulk-load machinery;
+//! * every shard carries an [`AccessStats`] histogram — lock-free
+//!   `AtomicU64` bucket counters over the shard's key range, bumped on
+//!   `get`/`insert`/`remove`/scan entry and periodically halved
+//!   (exponential decay) so stale hotspots fade;
 //! * [`rebalance_shards`](ShardedRma::rebalance_shards) splits hot
-//!   shards and merges cold neighbours using per-shard load
-//!   statistics ([`shard_stats`](ShardedRma::shard_stats)).
+//!   shards at the equal-access point of their histogram CDF and
+//!   merges neighbours whose decayed access mass falls below a floor
+//!   ([`shard_stats`](ShardedRma::shard_stats) exposes the signal);
+//! * [`relearn_splitters`](ShardedRma::relearn_splitters) re-learns
+//!   the whole splitter set multi-way from the global histogram
+//!   ([`Splitters::from_weighted_histogram`]), guarded so uniform
+//!   workloads cause zero topology churn;
+//!   [`maintain`](ShardedRma::maintain) is the blessed periodic entry
+//!   point combining both.
 //!
 //! Concurrency contract: each operation is atomic within the shard(s)
 //! it locks; multi-shard reads (scans) release each shard before
@@ -43,37 +54,82 @@
 //! assert_eq!(index.len(), 1001);
 //! ```
 
+pub mod access;
 mod batch;
 mod maintenance;
 mod scan;
 mod shard;
 pub mod splitter;
 
-pub use maintenance::{MaintenanceReport, ShardStats};
+pub use access::AccessStats;
+pub use maintenance::{MaintenanceReport, RelearnReport, ShardStats};
 pub use splitter::Splitters;
 
 use rma_core::{Key, RmaConfig, Value};
 use shard::Topology;
-use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Shard-local operations between advances of the shared decay clock
+/// (batching keeps the global cache line off the per-op hot path).
+pub(crate) const DECAY_TICK_BATCH: u64 = 64;
+
+/// How shard maintenance weighs shards when deciding splits and
+/// merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalancePolicy {
+    /// Access-driven (the paper's adaptive idea, §IV, lifted to the
+    /// shard layer): split/merge triggers compare decayed access
+    /// masses and hot shards split at the equal-access point of their
+    /// histogram CDF. Falls back to element counts while no access
+    /// has been recorded yet.
+    #[default]
+    ByAccess,
+    /// Length-driven (the PR-1 baseline): triggers compare element
+    /// counts and hot shards split at their key median. Kept as the
+    /// explicit baseline for the re-learning benchmarks.
+    ByLen,
+}
 
 /// Construction-time configuration of a [`ShardedRma`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardConfig {
     /// Target shard count. Splitter learning may induce fewer shards
     /// on duplicate-heavy samples; maintenance may grow or shrink the
-    /// count over time.
+    /// count over time (re-learning steers back toward this count).
     pub num_shards: usize,
     /// Configuration applied to every per-shard RMA.
     pub rma: RmaConfig,
-    /// A shard splits when its length exceeds `split_factor` times the
-    /// mean shard length (and `min_split_len`).
+    /// A shard splits when its weight (access mass under
+    /// [`BalancePolicy::ByAccess`], length under
+    /// [`BalancePolicy::ByLen`]) exceeds `split_factor` times the mean
+    /// shard weight (and the shard is at least `min_split_len` long).
     pub split_factor: f64,
-    /// Two adjacent shards merge when their combined length falls
-    /// below `merge_factor` times the mean shard length.
+    /// Two adjacent shards merge when their combined weight falls
+    /// below `merge_factor` times the mean shard weight.
     pub merge_factor: f64,
     /// Shards shorter than this never split, regardless of imbalance.
     pub min_split_len: usize,
+    /// What maintenance balances on: access mass (default) or length.
+    pub balance: BalancePolicy,
+    /// Buckets per shard in the [`AccessStats`] histogram.
+    pub hist_buckets: usize,
+    /// Recorded operations (across the whole index) between histogram
+    /// halvings: all shard histograms decay *together* so their
+    /// relative masses survive; `0` disables decay.
+    pub decay_every: u64,
+    /// Whether [`maintain`](ShardedRma::maintain) re-learns splitters
+    /// multi-way from the access histogram.
+    pub relearn: bool,
+    /// Re-learning only engages when the access imbalance (max/mean
+    /// shard mass) is at least this factor — below it the topology is
+    /// considered balanced and left alone.
+    pub relearn_trigger: f64,
+    /// Re-learning is skipped unless the predicted post-re-learn
+    /// imbalance improves on the current one by at least this
+    /// fraction (the stability guard against churn for marginal
+    /// gains).
+    pub relearn_min_gain: f64,
 }
 
 impl Default for ShardConfig {
@@ -84,6 +140,12 @@ impl Default for ShardConfig {
             split_factor: 2.0,
             merge_factor: 0.5,
             min_split_len: 1024,
+            balance: BalancePolicy::ByAccess,
+            hist_buckets: 32,
+            decay_every: 8192,
+            relearn: true,
+            relearn_trigger: 1.25,
+            relearn_min_gain: 0.1,
         }
     }
 }
@@ -110,6 +172,15 @@ impl ShardConfig {
             self.merge_factor < self.split_factor,
             "merge factor must stay below split factor or maintenance oscillates"
         );
+        assert!(self.hist_buckets >= 1, "need at least one histogram bucket");
+        assert!(
+            self.relearn_trigger >= 1.0,
+            "relearn trigger below 1 would churn on balanced load"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.relearn_min_gain),
+            "relearn min gain must be a fraction in [0, 1)"
+        );
         self.rma.validate();
     }
 }
@@ -120,6 +191,12 @@ impl ShardConfig {
 pub struct ShardedRma {
     cfg: ShardConfig,
     topo: RwLock<Topology>,
+    /// Shared decay clock: total recorded operations. Every
+    /// `decay_every` ticks, *all* shard histograms halve together —
+    /// a global halving preserves the relative masses the re-learner
+    /// compares, whereas per-shard decay clocks would drive every
+    /// busy shard toward the same steady-state mass.
+    op_clock: AtomicU64,
 }
 
 impl ShardedRma {
@@ -128,21 +205,17 @@ impl ShardedRma {
     /// [`from_sample`](Self::from_sample) or
     /// [`load_bulk`](Self::load_bulk) when a key sample exists.
     pub fn new(cfg: ShardConfig) -> Self {
-        cfg.validate();
-        let topo = Topology::empty(Splitters::uniform(cfg.num_shards), cfg.rma);
-        ShardedRma {
-            cfg,
-            topo: RwLock::new(topo),
-        }
+        Self::with_splitters(cfg, Splitters::uniform(cfg.num_shards))
     }
 
     /// Empty index with explicit splitter keys.
     pub fn with_splitters(cfg: ShardConfig, splitters: Splitters) -> Self {
         cfg.validate();
-        let topo = Topology::empty(splitters, cfg.rma);
+        let topo = Topology::empty(splitters, &cfg);
         ShardedRma {
             cfg,
             topo: RwLock::new(topo),
+            op_clock: AtomicU64::new(0),
         }
     }
 
@@ -157,6 +230,30 @@ impl ShardedRma {
 
     pub(crate) fn topo(&self) -> RwLockReadGuard<'_, Topology> {
         self.topo.read().expect("topology lock poisoned")
+    }
+
+    /// Advances the shared decay clock by `n` recorded operations;
+    /// for every `decay_every` boundary the clock crosses, every
+    /// shard's histogram halves in one sweep. Capped at 64 halvings —
+    /// beyond that a u64 counter is zero anyway.
+    ///
+    /// Point-op paths call this once per [`DECAY_TICK_BATCH`]
+    /// shard-local operations (not per op), so the shared clock's
+    /// cache line is touched ~64× less often than the shards' own
+    /// counters — the histogram layer stays coordination-free on the
+    /// hot path.
+    pub(crate) fn tick_decay(&self, topo: &Topology, n: u64) {
+        let period = self.cfg.decay_every;
+        if period == 0 {
+            return;
+        }
+        let prev = self.op_clock.fetch_add(n, Relaxed);
+        let crossings = ((prev + n) / period - prev / period).min(64);
+        for _ in 0..crossings {
+            for shard in &topo.shards {
+                shard.stats.decay();
+            }
+        }
     }
 
     pub(crate) fn topo_mut(&self) -> RwLockWriteGuard<'_, Topology> {
@@ -206,7 +303,11 @@ impl ShardedRma {
     pub fn get(&self, k: Key) -> Option<Value> {
         let topo = self.topo();
         let shard = &topo.shards[topo.splitters.route(k)];
-        shard.reads.fetch_add(1, Relaxed);
+        let prev = shard.reads.fetch_add(1, Relaxed);
+        shard.stats.record(k);
+        if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+            self.tick_decay(&topo, DECAY_TICK_BATCH);
+        }
         let found = shard.read().get(k);
         found
     }
@@ -217,7 +318,11 @@ impl ShardedRma {
     pub fn insert(&self, k: Key, v: Value) {
         let topo = self.topo();
         let shard = &topo.shards[topo.splitters.route(k)];
-        shard.writes.fetch_add(1, Relaxed);
+        let prev = shard.writes.fetch_add(1, Relaxed);
+        shard.stats.record(k);
+        if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+            self.tick_decay(&topo, DECAY_TICK_BATCH);
+        }
         let mut guard = shard.write();
         guard.insert(k, v);
     }
@@ -226,9 +331,45 @@ impl ShardedRma {
     pub fn remove(&self, k: Key) -> Option<Value> {
         let topo = self.topo();
         let shard = &topo.shards[topo.splitters.route(k)];
-        shard.writes.fetch_add(1, Relaxed);
+        let prev = shard.writes.fetch_add(1, Relaxed);
+        shard.stats.record(k);
+        if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+            self.tick_decay(&topo, DECAY_TICK_BATCH);
+        }
         let removed = shard.write().remove(k);
         removed
+    }
+
+    // ---------------------------------------------- access signal --
+
+    /// Decayed access mass per shard, in shard order — the signal
+    /// maintenance balances on.
+    pub fn access_masses(&self) -> Vec<u64> {
+        let topo = self.topo();
+        topo.shards.iter().map(|s| s.stats.total()).collect()
+    }
+
+    /// Max/mean access imbalance across shards: `1.0` is perfectly
+    /// balanced; returns `1.0` when no access has been recorded.
+    pub fn access_imbalance(&self) -> f64 {
+        let masses = self.access_masses();
+        let total: u64 = masses.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / masses.len() as f64;
+        *masses.iter().max().expect("at least one shard") as f64 / mean
+    }
+
+    /// Zeroes every shard's access histogram and the decay clock
+    /// (measurement hook: the replay harness resets between phases to
+    /// attribute mass to one phase).
+    pub fn reset_access_stats(&self) {
+        let topo = self.topo();
+        for shard in &topo.shards {
+            shard.stats.clear();
+        }
+        self.op_clock.store(0, Relaxed);
     }
 
     // ------------------------------------------------ validation --
@@ -328,6 +469,34 @@ mod tests {
         // Boundary keys must land right of their splitter.
         assert_eq!(s.splitters().route(10), 1);
         assert_eq!(s.splitters().route(20), 2);
+    }
+
+    #[test]
+    fn point_ops_advance_the_decay_clock_in_batches() {
+        let mut cfg = small_cfg(2);
+        cfg.decay_every = 64;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000]));
+        // One key → one bucket, so halving has no per-bucket floor
+        // rounding and the arithmetic below is exact.
+        for v in 0..64i64 {
+            s.insert(7, v);
+        }
+        // The 64th shard op ticks the clock across one decay period:
+        // 64 recorded accesses, halved once.
+        assert_eq!(s.access_masses()[0], 32);
+    }
+
+    #[test]
+    fn batched_ingest_decays_once_per_period() {
+        let mut cfg = small_cfg(2);
+        cfg.decay_every = 64;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000]));
+        // One key → one bucket: exact halving arithmetic.
+        let inserts: Vec<(i64, i64)> = (0..256).map(|v| (7, v)).collect();
+        s.apply_batch(&inserts, &[]);
+        // One 256-op batch spans four decay periods: the clock must
+        // apply all four halvings, not one. 256 → 16.
+        assert_eq!(s.access_masses().iter().sum::<u64>(), 16);
     }
 
     #[test]

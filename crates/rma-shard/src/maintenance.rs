@@ -1,16 +1,37 @@
-//! Shard maintenance: per-shard load statistics and the split/merge
-//! pass that keeps the shard population balanced as the key
-//! distribution drifts.
+//! Shard maintenance: per-shard load statistics, the access-driven
+//! split/merge pass, and online splitter re-learning.
 //!
-//! [`ShardedRma::rebalance_shards`] holds the topology write lock, so
-//! it runs exclusively — the sharded analogue of an RMA resize, while
-//! normal operations are the analogue of segment-local rebalances.
-//! Splits and merges rebuild the affected shards through the paper's
-//! bulk-load machinery, so a restructured shard comes out with the
-//! bottom-up layout a freshly loaded RMA would have.
+//! PR 1's maintenance split the hottest shard at its *key median* —
+//! blind to where inside the shard the workload lands. This module
+//! balances on the decayed access histogram instead (the paper's §IV
+//! idea, lifted from segments to shards):
+//!
+//! * [`ShardedRma::rebalance_shards`] splits shards whose access mass
+//!   exceeds `split_factor ×` the mean at the **equal-access point of
+//!   their histogram CDF**, and merges neighbours whose combined
+//!   decayed mass falls below the `merge_factor ×` mean floor;
+//! * [`ShardedRma::relearn_splitters`] re-learns the whole splitter
+//!   set multi-way from the global histogram
+//!   ([`Splitters::from_weighted_histogram`]), guarded twice: it
+//!   engages only when the observed imbalance exceeds
+//!   `relearn_trigger`, and only when the predicted imbalance after
+//!   re-learning improves by at least `relearn_min_gain` — so uniform
+//!   workloads cause zero topology churn;
+//! * [`ShardedRma::maintain`] is the periodic entry point combining
+//!   both.
+//!
+//! All three hold the topology write lock, so they run exclusively —
+//! the sharded analogue of an RMA resize, while normal operations are
+//! the analogue of segment-local rebalances. Restructured shards are
+//! rebuilt through the paper's bulk-load machinery and their
+//! histograms are **re-seeded** from the learned signal (clipped to
+//! the new key range), so maintenance never resets what the workload
+//! taught the structure. [`BalancePolicy::ByLen`] restores the PR-1
+//! median-split behaviour as an explicit baseline.
 
+use crate::access::AccessStats;
 use crate::shard::Shard;
-use crate::ShardedRma;
+use crate::{BalancePolicy, ShardedRma, Splitters};
 use rma_core::{Key, Rma, Value};
 use std::sync::atomic::Ordering::Relaxed;
 
@@ -28,6 +49,9 @@ pub struct ShardStats {
     pub reads: u64,
     /// Write operations routed likewise.
     pub writes: u64,
+    /// Decayed access mass of the shard's histogram (survives
+    /// restructuring via re-seeding, unlike `reads`/`writes`).
+    pub access_mass: u64,
     /// Inclusive lower key bound (`None` = unbounded).
     pub lower_bound: Option<Key>,
     /// Exclusive upper key bound (`None` = unbounded).
@@ -43,9 +67,28 @@ pub struct MaintenanceReport {
     pub merges: usize,
 }
 
+/// What one [`ShardedRma::relearn_splitters`] call decided.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RelearnReport {
+    /// Whether the splitter set was actually replaced.
+    pub relearned: bool,
+    /// Max/mean access imbalance observed before the call (0 when no
+    /// access mass had been recorded).
+    pub imbalance_before: f64,
+    /// Predicted max/mean imbalance under the candidate splitters
+    /// (only set when a candidate was evaluated).
+    pub imbalance_predicted: f64,
+    /// Shard count before the call.
+    pub shards_before: usize,
+    /// Shard count after the call.
+    pub shards_after: usize,
+}
+
 /// Index to split a sorted run at so both halves are non-empty and no
-/// key straddles the cut; `None` when every key is equal.
-fn split_cut(elems: &[(Key, Value)]) -> Option<usize> {
+/// key straddles the cut; `None` when every key is equal. This is the
+/// PR-1 key-median cut, kept as the [`BalancePolicy::ByLen`] strategy
+/// and as the fallback when the histogram carries no usable signal.
+fn median_cut(elems: &[(Key, Value)]) -> Option<usize> {
     if elems.len() < 2 {
         return None;
     }
@@ -56,6 +99,74 @@ fn split_cut(elems: &[(Key, Value)]) -> Option<usize> {
     }
     let cut = elems.partition_point(|p| p.0 <= key);
     (cut < elems.len()).then_some(cut)
+}
+
+/// Equal-access cut: the index where the shard's histogram CDF
+/// crosses half its mass, snapped to the element array so both halves
+/// are non-empty and no duplicate run straddles the cut. Falls back
+/// to [`median_cut`] when the histogram cannot resolve a valid cut.
+fn access_cut(elems: &[(Key, Value)], stats: &AccessStats) -> Option<usize> {
+    if elems.len() < 2 {
+        return None;
+    }
+    let wb = stats.weighted_buckets();
+    let two_way = Splitters::from_weighted_histogram(&wb, 2);
+    let Some(&key) = two_way.keys().first() else {
+        return median_cut(elems); // zero or point mass: no CDF signal
+    };
+    let cut = elems.partition_point(|p| p.0 < key);
+    if cut == 0 || cut == elems.len() {
+        return median_cut(elems); // mass lies outside the stored keys
+    }
+    Some(cut)
+}
+
+/// Clips weighted buckets to `[lo, hi)`, scaling each straddling
+/// bucket's mass by its overlap fraction (piecewise-uniform model).
+fn clip_weights(wb: &[(Key, Key, u64)], lo: Option<Key>, hi: Option<Key>) -> Vec<(Key, Key, u64)> {
+    wb.iter()
+        .filter_map(|&(blo, bhi, w)| {
+            let clo = lo.map_or(blo, |l| blo.max(l));
+            let chi = hi.map_or(bhi, |h| bhi.min(h));
+            if chi <= clo {
+                return None;
+            }
+            let span = (bhi as i128 - blo as i128).max(1);
+            let part = chi as i128 - clo as i128;
+            let share = ((w as i128 * part) / span) as u64;
+            (share > 0).then_some((clo, chi, share))
+        })
+        .collect()
+}
+
+/// Access mass each shard of `splitters` would receive from the
+/// weighted buckets (piecewise-uniform distribution of straddlers).
+fn predicted_masses(wb: &[(Key, Key, u64)], splitters: &Splitters) -> Vec<f64> {
+    let mut masses = vec![0f64; splitters.num_shards()];
+    for &(blo, bhi, w) in wb {
+        let span = (bhi as i128 - blo as i128).max(1) as f64;
+        let first = splitters.route(blo);
+        let last = splitters.route(bhi.saturating_sub(1).max(blo));
+        for (i, m) in masses.iter_mut().enumerate().take(last + 1).skip(first) {
+            let (slo, shi) = splitters.range_of(i);
+            let clo = slo.map_or(blo, |l| blo.max(l));
+            let chi = shi.map_or(bhi, |h| bhi.min(h));
+            if chi > clo {
+                *m += w as f64 * (chi as i128 - clo as i128) as f64 / span;
+            }
+        }
+    }
+    masses
+}
+
+/// Max/mean of a mass vector; `1.0` for empty or all-zero input.
+fn imbalance_of(masses: &[f64]) -> f64 {
+    let total: f64 = masses.iter().sum();
+    if total <= 0.0 || masses.is_empty() {
+        return 1.0;
+    }
+    let mean = total / masses.len() as f64;
+    masses.iter().cloned().fold(0f64, f64::max) / mean
 }
 
 impl ShardedRma {
@@ -74,6 +185,7 @@ impl ShardedRma {
                     segments: g.num_segments(),
                     reads: s.reads.load(Relaxed),
                     writes: s.writes.load(Relaxed),
+                    access_mass: s.stats.total(),
                     lower_bound,
                     upper_bound,
                 }
@@ -81,16 +193,36 @@ impl ShardedRma {
             .collect()
     }
 
-    /// Splits shards heavier than `split_factor ×` the mean shard
-    /// length and merges adjacent pairs lighter (combined) than
-    /// `merge_factor ×` the mean. Exclusive: blocks all other
-    /// operations for the duration. Restructured shards restart their
-    /// load counters.
+    /// Per-shard weights the configured [`BalancePolicy`] balances on.
+    /// Under `ByAccess` this is the decayed histogram mass, falling
+    /// back to element counts while no access has been recorded (a
+    /// freshly bulk-loaded index still balances by residency).
+    fn balance_weights(lens: &[usize], masses: &[u64], policy: BalancePolicy) -> Vec<u64> {
+        match policy {
+            BalancePolicy::ByLen => lens.iter().map(|&l| l as u64).collect(),
+            BalancePolicy::ByAccess => {
+                if masses.iter().all(|&m| m == 0) {
+                    lens.iter().map(|&l| l as u64).collect()
+                } else {
+                    masses.to_vec()
+                }
+            }
+        }
+    }
+
+    /// Splits shards whose balance weight exceeds `split_factor ×` the
+    /// mean and merges adjacent pairs whose combined weight falls
+    /// below the `merge_factor ×` mean floor. Under the default
+    /// [`BalancePolicy::ByAccess`], split points come from the
+    /// shard histogram's equal-access CDF point and restructured
+    /// shards inherit their parents' (clipped) histograms. Exclusive:
+    /// blocks all other operations for the duration. Restructured
+    /// shards restart their read/write counters.
     pub fn rebalance_shards(&self) -> MaintenanceReport {
         let mut guard = self.topo_mut();
         let topo = &mut *guard;
         let mut report = MaintenanceReport::default();
-        let rma_cfg = self.cfg.rma;
+        let policy = self.cfg.balance;
 
         // Split pass: repeatedly split the heaviest offender. Bounded
         // so a pathological distribution cannot spin here forever.
@@ -100,18 +232,20 @@ impl ShardedRma {
                 .iter_mut()
                 .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
                 .collect();
-            let total: usize = lens.iter().sum();
+            let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+            let weights = Self::balance_weights(&lens, &masses, policy);
+            let total: u64 = weights.iter().sum();
             if total == 0 {
                 break;
             }
-            let mean = (total / lens.len()).max(1);
-            let (hot, &hot_len) = lens
+            let mean = (total / weights.len() as u64).max(1);
+            let (hot, &hot_w) = weights
                 .iter()
                 .enumerate()
-                .max_by_key(|&(_, &l)| l)
+                .max_by_key(|&(_, &w)| w)
                 .expect("at least one shard");
-            if (hot_len as f64) <= self.cfg.split_factor * mean as f64
-                || hot_len < self.cfg.min_split_len
+            if (hot_w as f64) <= self.cfg.split_factor * mean as f64
+                || lens[hot] < self.cfg.min_split_len
             {
                 break;
             }
@@ -121,22 +255,36 @@ impl ShardedRma {
                 .expect("shard lock poisoned")
                 .iter()
                 .collect();
-            let Some(cut) = split_cut(&elems) else {
+            let cut = match policy {
+                BalancePolicy::ByLen => median_cut(&elems),
+                BalancePolicy::ByAccess => access_cut(&elems, &topo.shards[hot].stats),
+            };
+            let Some(cut) = cut else {
                 break; // one giant duplicate run: nothing to split on
             };
             let split_key = elems[cut].0;
-            let mut left = Rma::new(rma_cfg);
+            let parent_wb = topo.shards[hot].stats.weighted_buckets();
+            let mut left = Rma::new(self.cfg.rma);
             left.load_bulk(&elems[..cut]);
-            let mut right = Rma::new(rma_cfg);
+            let mut right = Rma::new(self.cfg.rma);
             right.load_bulk(&elems[cut..]);
             topo.splitters.split_shard(hot, split_key);
-            topo.shards[hot] = Shard::new(left);
-            topo.shards.insert(hot + 1, Shard::new(right));
+            let (llo, lhi) = topo.splitters.range_of(hot);
+            let (rlo, rhi) = topo.splitters.range_of(hot + 1);
+            let left = Shard::new(left, llo, lhi, &self.cfg);
+            left.stats.seed(&clip_weights(&parent_wb, llo, lhi));
+            let right = Shard::new(right, rlo, rhi, &self.cfg);
+            right.stats.seed(&clip_weights(&parent_wb, rlo, rhi));
+            topo.shards[hot] = left;
+            topo.shards.insert(hot + 1, right);
             report.splits += 1;
         }
 
         // Merge pass: collapse the leftmost cold pair until none
-        // remains.
+        // remains. Under ByAccess a merge additionally requires the
+        // combined length to stay below the split trigger, so merging
+        // two access-cold but element-heavy shards cannot manufacture
+        // an instantly-splittable giant.
         for _ in 0..64 {
             let n = topo.shards.len();
             if n <= 1 {
@@ -147,13 +295,21 @@ impl ShardedRma {
                 .iter_mut()
                 .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
                 .collect();
-            let total: usize = lens.iter().sum();
-            if total == 0 {
+            let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+            let weights = Self::balance_weights(&lens, &masses, policy);
+            let total: u64 = weights.iter().sum();
+            let total_len: usize = lens.iter().sum();
+            if total == 0 || total_len == 0 {
                 break; // keep learned splitters while the index is empty
             }
-            let mean = (total / n).max(1);
-            let cold = (0..n - 1)
-                .find(|&i| ((lens[i] + lens[i + 1]) as f64) < self.cfg.merge_factor * mean as f64);
+            let mean = (total / n as u64).max(1);
+            let mean_len = (total_len / n).max(1);
+            let cold = (0..n - 1).find(|&i| {
+                let combined = (weights[i] + weights[i + 1]) as f64;
+                let len_ok = policy == BalancePolicy::ByLen
+                    || ((lens[i] + lens[i + 1]) as f64) <= self.cfg.split_factor * mean_len as f64;
+                combined < self.cfg.merge_factor * mean as f64 && len_ok
+            });
             let Some(i) = cold else { break };
             let mut elems: Vec<(Key, Value)> = topo.shards[i]
                 .rma
@@ -170,21 +326,110 @@ impl ShardedRma {
                     .expect("shard lock poisoned")
                     .iter(),
             );
-            let mut merged = Rma::new(rma_cfg);
+            let mut pair_wb = topo.shards[i].stats.weighted_buckets();
+            pair_wb.extend(topo.shards[i + 1].stats.weighted_buckets());
+            let mut merged = Rma::new(self.cfg.rma);
             merged.load_bulk(&elems);
             topo.splitters.merge_with_next(i);
-            topo.shards[i] = Shard::new(merged);
+            let (lo, hi) = topo.splitters.range_of(i);
+            let merged = Shard::new(merged, lo, hi, &self.cfg);
+            merged.stats.seed(&pair_wb);
+            topo.shards[i] = merged;
             topo.shards.remove(i + 1);
             report.merges += 1;
         }
         report
+    }
+
+    /// Re-learns the splitter set multi-way from the global access
+    /// histogram: the new splitters sit at the equal-access quantiles
+    /// of the concatenated per-shard histograms, so hammered key
+    /// intervals get many narrow shards and cold intervals collapse
+    /// into wide ones (steering the count back to
+    /// `ShardConfig::num_shards`).
+    ///
+    /// Stability guard: the topology is only rebuilt when the observed
+    /// max/mean access imbalance reaches `relearn_trigger` **and** the
+    /// predicted imbalance under the candidate splitters improves on
+    /// it by at least `relearn_min_gain`. Uniform workloads therefore
+    /// cause zero churn. Exclusive; rebuilt shards keep their learned
+    /// histograms (re-binned to the new ranges).
+    pub fn relearn_splitters(&self) -> RelearnReport {
+        let mut guard = self.topo_mut();
+        let topo = &mut *guard;
+        let n = topo.shards.len();
+        let mut report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let total: u64 = masses.iter().sum();
+        if total == 0 {
+            return report; // no signal to learn from
+        }
+        let mean = total as f64 / n as f64;
+        let imbalance = *masses.iter().max().expect("at least one shard") as f64 / mean;
+        report.imbalance_before = imbalance;
+        if imbalance < self.cfg.relearn_trigger {
+            return report; // already balanced: no churn
+        }
+        let wb: Vec<(Key, Key, u64)> = topo
+            .shards
+            .iter()
+            .flat_map(|s| s.stats.weighted_buckets())
+            .collect();
+        let candidate = Splitters::from_weighted_histogram(&wb, self.cfg.num_shards);
+        if candidate == topo.splitters {
+            return report;
+        }
+        let predicted = imbalance_of(&predicted_masses(&wb, &candidate));
+        report.imbalance_predicted = predicted;
+        if predicted >= (1.0 - self.cfg.relearn_min_gain) * imbalance {
+            return report; // gain too small to justify the churn
+        }
+
+        // Rebuild: shards are contiguous and sorted, so concatenating
+        // them yields the full sorted content.
+        let mut elems: Vec<(Key, Value)> = Vec::new();
+        for shard in topo.shards.iter_mut() {
+            elems.extend(shard.rma.get_mut().expect("shard lock poisoned").iter());
+        }
+        let parts = candidate.partition_sorted(&elems);
+        let shards: Vec<Shard> = (0..candidate.num_shards())
+            .map(|i| {
+                let mut rma = Rma::new(self.cfg.rma);
+                rma.load_bulk(&elems[parts[i].clone()]);
+                let (lo, hi) = candidate.range_of(i);
+                let shard = Shard::new(rma, lo, hi, &self.cfg);
+                shard.stats.seed(&clip_weights(&wb, lo, hi));
+                shard
+            })
+            .collect();
+        report.shards_after = shards.len();
+        report.relearned = true;
+        topo.splitters = candidate;
+        topo.shards = shards;
+        report
+    }
+
+    /// Periodic maintenance entry point: multi-way splitter
+    /// re-learning (when `ShardConfig::relearn` is on) followed by the
+    /// incremental split/merge pass.
+    pub fn maintain(&self) -> (RelearnReport, MaintenanceReport) {
+        let relearn = if self.cfg.relearn {
+            self.relearn_splitters()
+        } else {
+            RelearnReport::default()
+        };
+        (relearn, self.rebalance_shards())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::tests::small_cfg;
-    use crate::{MaintenanceReport, ShardedRma, Splitters};
+    use crate::{BalancePolicy, MaintenanceReport, ShardedRma, Splitters};
 
     #[test]
     fn stats_report_bounds_and_counters() {
@@ -200,6 +445,7 @@ mod tests {
         assert_eq!(stats[1].upper_bound, Some(200));
         assert_eq!(stats.iter().map(|st| st.len).sum::<usize>(), 300);
         assert_eq!(stats[1].reads, 1);
+        assert_eq!(stats[1].access_mass, 101, "100 inserts + 1 get");
         assert!(stats.iter().all(|st| st.writes == 100));
     }
 
@@ -218,6 +464,41 @@ mod tests {
         let stats = s.shard_stats();
         let max = stats.iter().map(|st| st.len).max().unwrap();
         assert!(max < 1000, "hot shard still intact: {stats:?}");
+    }
+
+    #[test]
+    fn access_cut_splits_at_the_hot_point_not_the_median() {
+        // Shard 0 holds keys 0..1000 but only the top decile is ever
+        // touched after loading: the access CDF cut must land inside
+        // [900, 1000), not at the median 500.
+        let mut cfg = small_cfg(2);
+        cfg.split_factor = 1.5;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![5000]));
+        for k in 0..1000i64 {
+            s.insert(k, k);
+        }
+        s.reset_access_stats();
+        for _ in 0..50 {
+            for k in 900..1000i64 {
+                let _ = s.get(k);
+            }
+        }
+        // Something must make shard 0 hot relative to shard 1.
+        let _ = s.get(6000);
+        let report = s.rebalance_shards();
+        assert!(report.splits >= 1, "{report:?}");
+        let new_keys = s.splitters();
+        let inner: Vec<i64> = new_keys
+            .keys()
+            .iter()
+            .copied()
+            .filter(|&k| (0..1000).contains(&k))
+            .collect();
+        assert!(
+            inner.iter().any(|&k| (850..=1000).contains(&k)),
+            "cut missed the hot decile: {inner:?}"
+        );
+        s.check_invariants();
     }
 
     #[test]
@@ -262,5 +543,94 @@ mod tests {
         let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![10, 20, 30]));
         assert_eq!(s.rebalance_shards(), MaintenanceReport::default());
         assert_eq!(s.num_shards(), 4);
+    }
+
+    #[test]
+    fn bylen_policy_reproduces_median_splits() {
+        let mut cfg = small_cfg(4);
+        cfg.balance = BalancePolicy::ByLen;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));
+        for k in 0..1000i64 {
+            s.insert(k, k);
+        }
+        let report = s.rebalance_shards();
+        assert!(report.splits >= 1);
+        // The first split of 0..1000 under ByLen lands at the median.
+        assert!(
+            s.splitters().keys().contains(&500),
+            "median cut expected: {:?}",
+            s.splitters().keys()
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn relearn_rebuilds_topology_around_the_hotspot() {
+        let mut cfg = small_cfg(4);
+        cfg.num_shards = 4;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));
+        for k in 0..4000i64 {
+            s.insert(k, k);
+        }
+        s.reset_access_stats();
+        // Hammer a narrow band inside shard 2.
+        for _ in 0..20 {
+            for k in 2100..2200i64 {
+                let _ = s.get(k);
+            }
+        }
+        let before = s.collect_all();
+        let report = s.relearn_splitters();
+        assert!(report.relearned, "{report:?}");
+        assert!(report.imbalance_before > 3.0, "{report:?}");
+        assert!(report.imbalance_predicted < report.imbalance_before);
+        s.check_invariants();
+        assert_eq!(s.collect_all(), before, "re-learning must not lose data");
+        // Most splitters should now sit inside the hammered band.
+        let inside = s
+            .splitters()
+            .keys()
+            .iter()
+            .filter(|&&k| (2100..2200).contains(&k))
+            .count();
+        assert!(inside >= 2, "splitters: {:?}", s.splitters().keys());
+    }
+
+    #[test]
+    fn relearn_skips_balanced_access() {
+        let batch: Vec<(i64, i64)> = (0..4000).map(|i| (i, i)).collect();
+        let s = ShardedRma::load_bulk(small_cfg(4), &batch);
+        // Uniform touches: every key once.
+        for k in 0..4000i64 {
+            let _ = s.get(k);
+        }
+        let splitters_before = s.splitters();
+        let report = s.relearn_splitters();
+        assert!(!report.relearned, "uniform access must not churn");
+        assert_eq!(s.splitters(), splitters_before);
+    }
+
+    #[test]
+    fn relearn_without_any_access_is_a_noop() {
+        let batch: Vec<(i64, i64)> = (0..1000).map(|i| (i, i)).collect();
+        let s = ShardedRma::load_bulk(small_cfg(4), &batch);
+        let report = s.relearn_splitters();
+        assert!(!report.relearned);
+        assert_eq!(report.imbalance_before, 0.0);
+    }
+
+    #[test]
+    fn maintain_combines_relearn_and_rebalance() {
+        let s = ShardedRma::new(small_cfg(4));
+        for k in 0..500i64 {
+            s.insert(k, k);
+        }
+        let (relearn, rebalance) = s.maintain();
+        s.check_invariants();
+        assert_eq!(s.len(), 500);
+        // All mass in shard 0 of a 62-bit uniform topology: either
+        // path may fire, but the combination must leave a consistent,
+        // more balanced topology.
+        assert!(relearn.relearned || rebalance.splits > 0 || rebalance.merges > 0);
     }
 }

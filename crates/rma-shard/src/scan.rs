@@ -8,7 +8,7 @@
 //! one shard at a time — see the crate docs for the consistency
 //! contract.
 
-use crate::ShardedRma;
+use crate::{ShardedRma, DECAY_TICK_BATCH};
 use rma_core::{Key, Value};
 use std::sync::atomic::Ordering::Relaxed;
 
@@ -23,8 +23,12 @@ impl ShardedRma {
             if visited >= count {
                 break;
             }
-            shard.reads.fetch_add(1, Relaxed);
+            let prev = shard.reads.fetch_add(1, Relaxed);
             let from = if i == first { start } else { Key::MIN };
+            shard.stats.record(from);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(&topo, DECAY_TICK_BATCH);
+            }
             visited += shard.read().scan(from, count - visited, &mut f);
         }
         visited
@@ -41,8 +45,12 @@ impl ShardedRma {
             if visited >= count {
                 break;
             }
-            shard.reads.fetch_add(1, Relaxed);
+            let prev = shard.reads.fetch_add(1, Relaxed);
             let from = if i == first { start } else { Key::MIN };
+            shard.stats.record(from);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(&topo, DECAY_TICK_BATCH);
+            }
             let (n, s) = shard.read().sum_range(from, count - visited);
             visited += n;
             sum = sum.wrapping_add(s);
@@ -55,8 +63,12 @@ impl ShardedRma {
         let topo = self.topo();
         let first = topo.splitters.route(k);
         for (i, shard) in topo.shards.iter().enumerate().skip(first) {
-            shard.reads.fetch_add(1, Relaxed);
+            let prev = shard.reads.fetch_add(1, Relaxed);
             let from = if i == first { k } else { Key::MIN };
+            shard.stats.record(from);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(&topo, DECAY_TICK_BATCH);
+            }
             if let Some(hit) = shard.read().first_ge(from) {
                 return Some(hit);
             }
@@ -77,7 +89,11 @@ impl ShardedRma {
             let mut g = shard.write();
             let from = if i == start { k } else { Key::MIN };
             if g.first_ge(from).is_some() {
-                shard.writes.fetch_add(1, Relaxed);
+                let prev = shard.writes.fetch_add(1, Relaxed);
+                shard.stats.record(from);
+                if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                    self.tick_decay(&topo, DECAY_TICK_BATCH);
+                }
                 return g.remove_successor(from);
             }
         }
@@ -87,7 +103,11 @@ impl ShardedRma {
         for shard in topo.shards[..=start].iter().rev() {
             let mut g = shard.write();
             if !g.is_empty() {
-                shard.writes.fetch_add(1, Relaxed);
+                let prev = shard.writes.fetch_add(1, Relaxed);
+                shard.stats.record(Key::MAX);
+                if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                    self.tick_decay(&topo, DECAY_TICK_BATCH);
+                }
                 return g.remove_successor(Key::MAX);
             }
         }

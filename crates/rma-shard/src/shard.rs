@@ -1,8 +1,11 @@
 //! One shard: an independent [`Rma`] behind an `RwLock`, plus cheap
-//! per-shard load counters.
+//! per-shard load counters and the decaying access histogram that
+//! drives splitter re-learning.
 
+use crate::access::AccessStats;
 use crate::splitter::Splitters;
-use rma_core::Rma;
+use crate::ShardConfig;
+use rma_core::{Key, Rma};
 use std::sync::atomic::AtomicU64;
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -15,14 +18,21 @@ pub(crate) struct Shard {
     pub(crate) reads: AtomicU64,
     /// Inserts/removes/batch elements routed to this shard.
     pub(crate) writes: AtomicU64,
+    /// Decaying histogram of where accesses land inside the shard's
+    /// key range — the signal [`crate::ShardedRma::relearn_splitters`]
+    /// learns from.
+    pub(crate) stats: AccessStats,
 }
 
 impl Shard {
-    pub(crate) fn new(rma: Rma) -> Self {
+    /// A shard over `rma` whose histogram models the key range
+    /// `[lo, hi)` with the configured bucket count.
+    pub(crate) fn new(rma: Rma, lo: Option<Key>, hi: Option<Key>, cfg: &ShardConfig) -> Self {
         Shard {
             rma: RwLock::new(rma),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            stats: AccessStats::new(lo, hi, cfg.hist_buckets),
         }
     }
 
@@ -38,7 +48,7 @@ impl Shard {
 /// The sharding topology: splitters plus one shard per range. Guarded
 /// by an outer `RwLock` in [`crate::ShardedRma`]; point and batch
 /// operations hold it for read (shared), shard maintenance
-/// (split/merge) holds it for write (exclusive).
+/// (split/merge/re-learn) holds it for write (exclusive).
 pub(crate) struct Topology {
     pub(crate) splitters: Splitters,
     pub(crate) shards: Vec<Shard>,
@@ -46,9 +56,12 @@ pub(crate) struct Topology {
 
 impl Topology {
     /// Empty shards for the given splitters.
-    pub(crate) fn empty(splitters: Splitters, rma_cfg: rma_core::RmaConfig) -> Self {
+    pub(crate) fn empty(splitters: Splitters, cfg: &ShardConfig) -> Self {
         let shards = (0..splitters.num_shards())
-            .map(|_| Shard::new(Rma::new(rma_cfg)))
+            .map(|i| {
+                let (lo, hi) = splitters.range_of(i);
+                Shard::new(Rma::new(cfg.rma), lo, hi, cfg)
+            })
             .collect();
         Topology { splitters, shards }
     }

@@ -6,19 +6,24 @@
 //! interleaved with deletions (the *mixed* workload of Fig. 11b) or
 //! grouped into sorted batches (the bulk-loading workload of Fig. 13b).
 //! This crate implements those generators deterministically from a
-//! seed, so every figure regenerates bit-identically.
+//! seed, so every figure regenerates bit-identically. Beyond the
+//! paper, [`hotspot`] adds a *shifting-hotspot* pattern (a hammered
+//! band that jumps or drifts between phases) for the sharded
+//! front-end's splitter re-learning experiments.
 //!
 //! The scalar element type across the whole reproduction is an 8-byte
 //! signed integer key paired with an 8-byte value, matching the paper's
 //! "8 byte key/value integer pairs".
 
 pub mod batches;
+pub mod hotspot;
 pub mod mixed;
 pub mod scans;
 pub mod xorshift;
 pub mod zipf;
 
 pub use batches::{partition_sorted, BatchStream, PartitionedBatch};
+pub use hotspot::{HotspotConfig, HotspotMotion, ShiftingHotspot};
 pub use mixed::{MixedWorkload, Op};
 pub use scans::ScanRanges;
 pub use xorshift::SplitMix64;

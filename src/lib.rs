@@ -9,9 +9,13 @@
 //!   rebalancing;
 //! * [`shard`] — the **sharded concurrent front-end**: key-range
 //!   sharding over independent `RwLock<Rma>` shards with branch-free
-//!   routing, stitched scans, parallel batch ingest and hot/cold
-//!   shard maintenance — the first layer growing the reproduction
-//!   toward a production-scale multi-client system;
+//!   routing, stitched scans, parallel batch ingest, and
+//!   **access-histogram-driven maintenance** — every shard carries a
+//!   lock-free decaying histogram of where operations land, hot
+//!   shards split at the equal-access point of their CDF, and
+//!   `ShardedRma::maintain` re-learns the whole splitter set from the
+//!   observed workload (Detector-style, §IV) with a stability guard
+//!   that keeps uniform workloads churn-free;
 //! * [`pma`] — the Traditional PMA baseline and the APMA
 //!   re-implementation;
 //! * [`abtree`] — the (a,b)-tree comparator and the static dense

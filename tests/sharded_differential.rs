@@ -9,6 +9,11 @@ use rma_repro::rma::{RewiringMode, Rma, RmaConfig};
 use rma_repro::shard::{ShardConfig, ShardedRma, Splitters};
 use std::collections::BTreeMap;
 
+/// Number of splitters `<= k` — the routing oracle.
+fn route_oracle(splitters: &[i64], k: i64) -> usize {
+    splitters.partition_point(|&sep| sep <= k)
+}
+
 fn small_rma() -> RmaConfig {
     RmaConfig {
         segment_size: 8,
@@ -116,6 +121,96 @@ fn mixed_churn_matches_rma_and_btreemap() {
     assert_eq!(got, want, "final content");
 }
 
+/// Coverage the original suite missed: `remove()` *after* shard
+/// split/merge cycles. Skewed inserts force splits, mass deletion
+/// forces merges, and exact-key removes run against the `BTreeMap`
+/// multiset oracle after every topology change.
+#[test]
+fn removes_after_split_merge_cycles_match_btreemap() {
+    let sharded =
+        ShardedRma::with_splitters(small_sharded(4), Splitters::new(vec![4000, 8000, 12000]));
+    let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
+    let mut x = 99u64;
+    let mut rand = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+
+    for cycle in 0..4 {
+        // Skewed inserts: hammer one quarter of the key space so the
+        // hot shard must split.
+        let base = (cycle % 4) * 4000;
+        for _ in 0..1500 {
+            let k = base + (rand() % 2000) as i64;
+            sharded.insert(k, k);
+            oracle_insert(&mut oracle, k);
+        }
+        let report = sharded.rebalance_shards();
+        sharded.check_invariants();
+        if cycle == 0 {
+            assert!(report.splits >= 1, "skew must split: {report:?}");
+        }
+
+        // Interleaved removes right after the topology changed: half
+        // present keys, half misses.
+        for _ in 0..800 {
+            let k = (rand() % 16_000) as i64;
+            let got = sharded.remove(k).is_some();
+            let present = oracle.get(&k).copied().unwrap_or(0) > 0;
+            assert_eq!(got, present, "cycle {cycle} remove({k})");
+            if present {
+                let c = oracle.get_mut(&k).expect("present");
+                *c -= 1;
+                if *c == 0 {
+                    oracle.remove(&k);
+                }
+            }
+        }
+        sharded.check_invariants();
+
+        // Mass deletion drains most shards so the next maintenance
+        // pass merges; removes must still agree afterwards.
+        let victims: Vec<i64> = oracle.keys().copied().filter(|&k| k % 3 != 0).collect();
+        for k in victims {
+            while oracle_remove_exact(&mut oracle, k) {
+                assert!(sharded.remove(k).is_some(), "cycle {cycle} drain({k})");
+            }
+            assert!(sharded.remove(k).is_none(), "cycle {cycle} over-drain({k})");
+        }
+        let report = sharded.rebalance_shards();
+        sharded.check_invariants();
+        let _ = report;
+        assert_eq!(
+            sharded.len(),
+            oracle.values().sum::<usize>(),
+            "cycle {cycle} len after drain+merge"
+        );
+    }
+
+    let got: Vec<i64> = sharded.collect_all().iter().map(|p| p.0).collect();
+    let want: Vec<i64> = oracle
+        .iter()
+        .flat_map(|(&k, &c)| std::iter::repeat_n(k, c))
+        .collect();
+    assert_eq!(got, want, "content after split/merge/remove cycles");
+}
+
+/// Removes one instance of exactly `k`; false when absent.
+fn oracle_remove_exact(o: &mut BTreeMap<i64, usize>, k: i64) -> bool {
+    match o.get_mut(&k) {
+        Some(c) => {
+            *c -= 1;
+            if *c == 0 {
+                o.remove(&k);
+            }
+            true
+        }
+        None => false,
+    }
+}
+
 #[test]
 fn apply_batch_matches_unsharded_apply_batch() {
     let mut base: Vec<(i64, i64)> =
@@ -216,6 +311,109 @@ proptest! {
         prop_assert_eq!(n, m);
         prop_assert_eq!(got, want);
         prop_assert_eq!(sharded.first_ge(start), single.first_ge(start));
+    }
+
+    /// Re-learning invariant 1: splitters learned from any weighted
+    /// histogram are strictly sorted and route every key to exactly
+    /// one shard (the partition_point oracle).
+    #[test]
+    fn relearned_splitters_stay_sorted_and_partition_the_keyspace(
+        mut edges in prop::collection::vec(-2000i64..2000, 2..12),
+        weights in prop::collection::vec(0u64..1000, 1..12),
+        num_shards in 1usize..10,
+        keys in prop::collection::vec(-2500i64..2500, 1..100),
+    ) {
+        edges.sort_unstable();
+        edges.dedup();
+        // Contiguous buckets between consecutive edges, cycling the
+        // weight pool (zero weights included on purpose).
+        let buckets: Vec<(i64, i64, u64)> = edges
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| (w[0], w[1], weights[i % weights.len()]))
+            .collect();
+        let s = Splitters::from_weighted_histogram(&buckets, num_shards);
+        prop_assert!(
+            s.keys().windows(2).all(|w| w[0] < w[1]),
+            "not strictly sorted: {:?}",
+            s.keys()
+        );
+        prop_assert!(s.num_shards() <= num_shards.max(1));
+        for &k in &keys {
+            let i = s.route(k);
+            prop_assert_eq!(i, route_oracle(s.keys(), k));
+            let (lo, hi) = s.range_of(i);
+            prop_assert!(lo.is_none_or(|l| l <= k));
+            prop_assert!(hi.is_none_or(|h| k < h));
+        }
+    }
+
+    /// Re-learning invariant 2: one split step moves exactly one
+    /// boundary — keys routing to other shards keep their shard
+    /// (modulo the index shift right of the split), bit for bit.
+    #[test]
+    fn split_step_leaves_outside_routing_unchanged(
+        mut raw_splitters in prop::collection::vec(-1000i64..1000, 1..8),
+        shard_sel in 0usize..8,
+        key_sel in 1i64..1_000_000,
+        keys in prop::collection::vec(-1200i64..1200, 1..150),
+    ) {
+        raw_splitters.sort_unstable();
+        raw_splitters.dedup();
+        let before = Splitters::new(raw_splitters.clone());
+        let i = shard_sel % before.num_shards();
+        let (lo, hi) = before.range_of(i);
+        // A split key strictly inside shard i's range (skip empty
+        // integer ranges).
+        let lo_k = lo.map_or(-1_000_000, |l| l + 1);
+        let hi_k = hi.map_or(1_000_000, |h| h - 1);
+        if lo_k <= hi_k {
+            let split_key = lo_k + key_sel.rem_euclid(hi_k - lo_k + 1);
+            let mut after = before.clone();
+            after.split_shard(i, split_key);
+            prop_assert_eq!(after.num_shards(), before.num_shards() + 1);
+            for &k in &keys {
+                let old = before.route(k);
+                let new = after.route(k);
+                if old < i {
+                    prop_assert_eq!(new, old, "key {} left of split moved", k);
+                } else if old > i {
+                    prop_assert_eq!(new, old + 1, "key {} right of split misrouted", k);
+                } else {
+                    prop_assert!(new == i || new == i + 1, "key {} escaped split shard", k);
+                    prop_assert_eq!(new == i + 1, k >= split_key);
+                }
+            }
+        }
+    }
+
+    /// Re-learning invariant 3: a full multi-way re-learn step on a
+    /// live index preserves contents exactly and every stored key
+    /// still routes to the shard that physically holds it.
+    #[test]
+    fn relearn_preserves_content_and_routing(
+        keys in prop::collection::vec(0i64..10_000, 2..400),
+        hot_lo in 0i64..9_000,
+    ) {
+        let sharded = ShardedRma::with_splitters(
+            small_sharded(1),
+            Splitters::new(vec![2500, 5000, 7500]),
+        );
+        for &k in &keys {
+            sharded.insert(k, k);
+        }
+        sharded.reset_access_stats();
+        // Hammer a narrow band to give re-learning a real signal.
+        for _ in 0..40 {
+            for d in 0..50 {
+                let _ = sharded.get(hot_lo + d);
+            }
+        }
+        let before = sharded.collect_all();
+        let _ = sharded.relearn_splitters();
+        sharded.check_invariants();
+        prop_assert_eq!(sharded.collect_all(), before);
+        prop_assert_eq!(sharded.len(), keys.len());
     }
 
     /// Bulk construction equals element-wise insertion.

@@ -1,0 +1,204 @@
+//! Deterministic workload-replay harness for online splitter
+//! re-learning.
+//!
+//! Replays the seeded shifting-hotspot workload through two
+//! [`ShardedRma`] configurations over the *identical* operation
+//! stream:
+//!
+//! * `median_baseline` — PR 1 maintenance (length-driven median
+//!   splits, no re-learning);
+//! * `relearn` — access-driven maintenance with multi-way splitter
+//!   re-learning.
+//!
+//! and asserts, with zero timing dependence:
+//!
+//! 1. both runs end with exactly the contents of a `BTreeMap`
+//!    multiset oracle (and therefore with each other's contents);
+//! 2. the post-maintenance access imbalance (max/mean shard access
+//!    mass over each phase's second half) under re-learning is at
+//!    most **half** the median-split baseline's;
+//! 3. a uniform workload triggers zero topology churn — the
+//!    re-learning stability guard holds.
+
+use rma_repro::rma::{RewiringMode, RmaConfig};
+use rma_repro::shard::{BalancePolicy, ShardConfig, ShardedRma};
+use rma_repro::workloads::{
+    HotspotConfig, HotspotMotion, KeyStream, Pattern, ShiftingHotspot, SplitMix64,
+};
+use std::collections::BTreeMap;
+
+const SHARDS: usize = 8;
+const PHASES: u64 = 4;
+const PHASE_OPS: u64 = 8192;
+const SEED: u64 = 20260730;
+
+fn replay_config(relearn: bool) -> ShardConfig {
+    ShardConfig {
+        num_shards: SHARDS,
+        rma: RmaConfig {
+            segment_size: 32,
+            rewiring: RewiringMode::Disabled,
+            reserve_bytes: 1 << 24,
+            ..Default::default()
+        },
+        min_split_len: 256,
+        relearn,
+        balance: if relearn {
+            BalancePolicy::ByAccess
+        } else {
+            BalancePolicy::ByLen
+        },
+        ..Default::default()
+    }
+}
+
+/// Multiset oracle bookkeeping.
+fn oracle_insert(o: &mut BTreeMap<i64, usize>, k: i64) {
+    *o.entry(k).or_insert(0) += 1;
+}
+
+fn oracle_remove(o: &mut BTreeMap<i64, usize>, k: i64) -> bool {
+    match o.get_mut(&k) {
+        Some(c) => {
+            *c -= 1;
+            if *c == 0 {
+                o.remove(&k);
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Replays the seeded hotspot workload; returns the per-phase
+/// post-maintenance imbalances and the final index (content already
+/// verified against the oracle step by step).
+fn run_replay(relearn: bool) -> (Vec<f64>, ShardedRma) {
+    let mut ops = ShiftingHotspot::new(
+        HotspotConfig {
+            phase_len: PHASE_OPS,
+            motion: HotspotMotion::Jump,
+            ..Default::default()
+        },
+        SEED,
+    );
+    let mut base: Vec<(i64, i64)> = {
+        let mut rng = SplitMix64::new(SEED ^ 0xFACE);
+        (0..8192)
+            .map(|i| ((rng.next_u64() >> 2) as i64, i))
+            .collect()
+    };
+    base.sort_unstable();
+    let index = ShardedRma::load_bulk(replay_config(relearn), &base);
+    let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
+    for &(k, _) in &base {
+        oracle_insert(&mut oracle, k);
+    }
+
+    let mut imbalances = Vec::new();
+    let half = PHASE_OPS / 2;
+    for _phase in 0..PHASES {
+        let mut run_half = |n: u64, index: &ShardedRma, oracle: &mut BTreeMap<i64, usize>| {
+            for i in 0..n {
+                let (k, v) = ops.next_pair();
+                match i % 8 {
+                    7 => {
+                        // Remove an exact (mostly hot) key; both the
+                        // index and the oracle may miss.
+                        let got = index.remove(k).is_some();
+                        let want = oracle_remove(oracle, k);
+                        assert_eq!(got, want, "remove({k}) divergence");
+                    }
+                    i if i % 2 == 0 => {
+                        index.insert(k, v);
+                        oracle_insert(oracle, k);
+                    }
+                    _ => {
+                        let got = index.get(k).is_some();
+                        let want = oracle.contains_key(&k);
+                        assert_eq!(got, want, "get({k}) divergence");
+                    }
+                }
+            }
+        };
+        index.reset_access_stats();
+        run_half(half, &index, &mut oracle);
+        index.maintain();
+        index.check_invariants();
+        index.reset_access_stats();
+        run_half(PHASE_OPS - half, &index, &mut oracle);
+        imbalances.push(index.access_imbalance());
+    }
+
+    // Final content must equal the oracle multiset exactly.
+    let got: Vec<i64> = index.collect_all().iter().map(|p| p.0).collect();
+    let want: Vec<i64> = oracle
+        .iter()
+        .flat_map(|(&k, &c)| std::iter::repeat_n(k, c))
+        .collect();
+    assert_eq!(got, want, "replay content diverged from the oracle");
+    (imbalances, index)
+}
+
+#[test]
+fn relearning_halves_hotspot_imbalance_deterministically() {
+    let (baseline, base_index) = run_replay(false);
+    let (relearn, relearn_index) = run_replay(true);
+
+    // (a) Identical op stream + oracle-checked: both runs must agree
+    // with each other too.
+    assert_eq!(
+        base_index.collect_all(),
+        relearn_index.collect_all(),
+        "maintenance policy must never change content"
+    );
+
+    // (b) Post-phase access imbalance under re-learning is at most
+    // half the median-split baseline's.
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let (mb, mr) = (mean(&baseline), mean(&relearn));
+    assert!(
+        mr <= 0.5 * mb,
+        "re-learning too weak: baseline {mb:.2}, relearn {mr:.2} (ratio {:.3})",
+        mr / mb
+    );
+    // The re-learned topology must actually differ from the uniform
+    // start (it adapted), and hold more than one shard.
+    assert!(relearn_index.num_shards() > 1);
+}
+
+#[test]
+fn uniform_workload_triggers_zero_topology_churn() {
+    let mut base: Vec<(i64, i64)> = KeyStream::new(Pattern::Uniform, SEED).take_pairs(8192);
+    base.sort_unstable();
+    let index = ShardedRma::load_bulk(replay_config(true), &base);
+    let splitters_start = index.splitters();
+
+    let mut ops = KeyStream::new(Pattern::Uniform, SEED ^ 1);
+    for round in 0..4 {
+        for i in 0..4096u64 {
+            let (k, v) = ops.next_pair();
+            if i % 2 == 0 {
+                index.insert(k, v);
+            } else {
+                let _ = index.get(k);
+            }
+        }
+        let (relearn, rebalance) = index.maintain();
+        assert!(
+            !relearn.relearned,
+            "round {round}: stability guard failed: {relearn:?}"
+        );
+        assert_eq!(
+            (rebalance.splits, rebalance.merges),
+            (0, 0),
+            "round {round}: uniform load must not churn topology"
+        );
+    }
+    assert_eq!(
+        index.splitters(),
+        splitters_start,
+        "splitters moved under uniform load"
+    );
+    index.check_invariants();
+}
