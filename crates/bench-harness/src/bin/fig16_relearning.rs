@@ -57,11 +57,11 @@ fn mode_config(cli: &Cli, relearn: bool) -> ShardConfig {
     }
 }
 
-fn run_mode(cli: &Cli, relearn: bool) -> Vec<PhaseRow> {
+fn run_mode(cli: &Cli, relearn: bool, motion: HotspotMotion) -> Vec<PhaseRow> {
     let phase_ops = cli.scale as u64;
     let hotspot_cfg = HotspotConfig {
         phase_len: phase_ops,
-        motion: HotspotMotion::Jump,
+        motion,
         ..Default::default()
     };
     let mut ops = ShiftingHotspot::new(hotspot_cfg, cli.seed);
@@ -161,10 +161,27 @@ fn write_json(path: &str, modes: &[(&str, &[PhaseRow])], cli: &Cli) -> std::io::
         "  \"mean_imbalance_baseline\": {base:.4},\n  \"mean_imbalance_relearn\": {relearn:.4},\n"
     ));
     json.push_str(&format!(
-        "  \"imbalance_ratio\": {:.4}\n}}\n",
+        "  \"imbalance_ratio\": {:.4},\n",
         relearn / base.max(1e-12)
     ));
+    let base_drift = mean_after(modes[2].1);
+    let relearn_drift = mean_after(modes[3].1);
+    json.push_str(&format!(
+        "  \"mean_imbalance_baseline_drift\": {base_drift:.4},\n  \"mean_imbalance_relearn_drift\": {relearn_drift:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"imbalance_ratio_drift\": {:.4}\n}}\n",
+        relearn_drift / base_drift.max(1e-12)
+    ));
     std::fs::write(path, json)
+}
+
+/// Drift step: half a hot-band width per phase, so the band slides
+/// incrementally instead of jumping — the case where learned
+/// splitters should stay approximately right between re-learns.
+fn drift_step() -> HotspotMotion {
+    let width = HotspotConfig::default().hot_width;
+    HotspotMotion::Drift { step: width / 2 }
 }
 
 fn main() {
@@ -173,8 +190,10 @@ fn main() {
         "# Fig. 16 — splitter re-learning under a shifting hotspot: N={} preloaded, {} ops/phase, {PHASES} phases, {SHARDS} shards, B={}",
         cli.scale, cli.scale, cli.seg
     );
-    let baseline = run_mode(&cli, false);
-    let relearn = run_mode(&cli, true);
+    let baseline = run_mode(&cli, false, HotspotMotion::Jump);
+    let relearn = run_mode(&cli, true, HotspotMotion::Jump);
+    let baseline_drift = run_mode(&cli, false, drift_step());
+    let relearn_drift = run_mode(&cli, true, drift_step());
 
     println!(
         "{:<7} {:>14} {:>14} {:>14} {:>14} {:>10}",
@@ -198,14 +217,24 @@ fn main() {
     }
     let (mb, mr) = (mean_after(&baseline), mean_after(&relearn));
     println!(
-        "# mean post-maintenance imbalance: baseline {mb:.2}, relearn {mr:.2}, ratio {:.3}",
+        "# mean post-maintenance imbalance (jump): baseline {mb:.2}, relearn {mr:.2}, ratio {:.3}",
         mr / mb.max(1e-12)
+    );
+    let (db, dr) = (mean_after(&baseline_drift), mean_after(&relearn_drift));
+    println!(
+        "# mean post-maintenance imbalance (drift): baseline {db:.2}, relearn {dr:.2}, ratio {:.3}",
+        dr / db.max(1e-12)
     );
 
     let path = "BENCH_splitter_relearning.json";
     match write_json(
         path,
-        &[("median_baseline", &baseline), ("relearn", &relearn)],
+        &[
+            ("median_baseline", &baseline),
+            ("relearn", &relearn),
+            ("median_baseline_drift", &baseline_drift),
+            ("relearn_drift", &relearn_drift),
+        ],
         &cli,
     ) {
         Ok(()) => println!("# wrote {path}"),

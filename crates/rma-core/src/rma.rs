@@ -98,6 +98,14 @@ impl Rma {
     }
 
     // ------------------------------------------------------ lookup --
+    //
+    // Every accessor below takes `&self` and reads only through safe
+    // slices: concurrent callers may share an RMA freely as long as no
+    // `&mut self` method runs at the same time. The sharded front-end
+    // relies on exactly this contract for its optimistic (seqlock)
+    // read path — readers run these methods lock-free while writers
+    // are fenced out, so nothing here may cache state or mutate
+    // through interior mutability.
 
     /// Returns a value stored under `k`, if any.
     pub fn get(&self, k: Key) -> Option<Value> {
@@ -193,6 +201,18 @@ impl Rma {
             let vals = self.storage.seg_vals(seg);
             keys.iter().copied().zip(vals.iter().copied())
         })
+    }
+
+    /// Appends every element in key order to `out`, reserving once up
+    /// front — the allocation-friendly drain used by shard
+    /// maintenance when it rebuilds topologies.
+    pub fn collect_into(&self, out: &mut Vec<(Key, Value)>) {
+        out.reserve(self.len);
+        for seg in 0..self.storage.seg_count() {
+            let keys = self.storage.seg_keys(seg);
+            let vals = self.storage.seg_vals(seg);
+            out.extend(keys.iter().copied().zip(vals.iter().copied()));
+        }
     }
 
     // ------------------------------------------------------ insert --

@@ -6,14 +6,21 @@
 //! shards-with-work)` workers; each worker takes its shards' write
 //! locks one at a time, so workers never contend with each other and
 //! the paper's bottom-up bulk-load machinery runs unchanged inside
-//! each shard.
+//! each shard. Sub-batches that land on a shard retired by concurrent
+//! maintenance are collected and re-applied against the fresh
+//! topology (a bounded retry: maintenance publications are rare and
+//! serialized).
 
-use crate::shard::{Shard, Topology};
+use crate::shard::{LockStats, Shard, Topology};
 use crate::splitter::Splitters;
 use crate::{ShardConfig, ShardedRma};
 use rma_core::{Key, Rma, Value};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex};
+
+/// Sub-batches bounced off retired shards, awaiting a re-route
+/// against the successor topology.
+type Leftover = (Vec<(Key, Value)>, Vec<Key>);
 
 /// Worker count for `n_jobs` independent shard jobs.
 fn workers_for(n_jobs: usize) -> usize {
@@ -51,19 +58,22 @@ impl ShardedRma {
             }
         });
 
-        let shards: Vec<Shard> = rmas
+        let lock_stats = Arc::new(LockStats::default());
+        let shards: Vec<Arc<Shard>> = rmas
             .into_iter()
             .enumerate()
             .map(|(i, r)| {
                 let (lo, hi) = splitters.range_of(i);
-                Shard::new(r.expect("worker filled every slot"), lo, hi, &cfg)
+                Arc::new(Shard::new(
+                    r.expect("worker filled every slot"),
+                    lo,
+                    hi,
+                    &cfg,
+                    Arc::clone(&lock_stats),
+                ))
             })
             .collect();
-        ShardedRma {
-            cfg,
-            topo: RwLock::new(Topology { splitters, shards }),
-            op_clock: std::sync::atomic::AtomicU64::new(0),
-        }
+        Self::from_parts(cfg, Topology { splitters, shards }, lock_stats)
     }
 
     /// Applies a mixed batch: `inserts` (sorted by key, duplicates
@@ -79,6 +89,31 @@ impl ShardedRma {
             inserts.windows(2).all(|w| w[0].0 <= w[1].0),
             "insert batch must be sorted"
         );
+        let (mut deleted, mut ins_left, mut del_left) = self.apply_batch_round(inserts, deletes);
+        while !ins_left.is_empty() || !del_left.is_empty() {
+            // A concurrent maintenance publication retired some target
+            // shards mid-round; re-route the leftovers. Per-shard
+            // chunks were appended whole, so a stable sort restores
+            // global key order without reordering duplicates (equal
+            // keys never span shards).
+            std::thread::yield_now();
+            ins_left.sort_by_key(|p| p.0);
+            let (d, ins_next, del_next) = self.apply_batch_round(&ins_left, &del_left);
+            deleted += d;
+            ins_left = ins_next;
+            del_left = del_next;
+        }
+        deleted
+    }
+
+    /// One routing round: partitions against the current topology and
+    /// applies in parallel; sub-batches whose shard was retired come
+    /// back as leftovers for the caller to re-route.
+    fn apply_batch_round(
+        &self,
+        inserts: &[(Key, Value)],
+        deletes: &[Key],
+    ) -> (usize, Vec<(Key, Value)>, Vec<Key>) {
         let topo = self.topo();
         let n = topo.shards.len();
         let parts = topo.splitters.partition_sorted(inserts);
@@ -91,16 +126,25 @@ impl ShardedRma {
             .filter(|&i| !parts[i].is_empty() || !dels[i].is_empty())
             .collect();
         if work.is_empty() {
-            return 0;
+            return (0, Vec::new(), Vec::new());
         }
         let deleted = AtomicUsize::new(0);
+        let leftover: Mutex<Leftover> = Mutex::new(Default::default());
         let t = workers_for(work.len());
         std::thread::scope(|sc| {
             for tid in 0..t {
-                let (topo, work, parts, dels, deleted) = (&topo, &work, &parts, &dels, &deleted);
+                let (topo, work, parts, dels, deleted, leftover) =
+                    (&topo, &work, &parts, &dels, &deleted, &leftover);
                 sc.spawn(move || {
                     for &i in work.iter().skip(tid).step_by(t) {
                         let shard = &topo.shards[i];
+                        let mut guard = shard.write();
+                        if guard.is_retired() {
+                            let mut lo = leftover.lock().expect("leftover lock poisoned");
+                            lo.0.extend_from_slice(&inserts[parts[i].clone()]);
+                            lo.1.extend_from_slice(&dels[i]);
+                            continue;
+                        }
                         let batch_ops = (parts[i].len() + dels[i].len()) as u64;
                         shard.writes.fetch_add(batch_ops, Relaxed);
                         for &(k, _) in &inserts[parts[i].clone()] {
@@ -110,15 +154,15 @@ impl ShardedRma {
                             shard.stats.record(k);
                         }
                         self.tick_decay(topo, batch_ops);
-                        let d = shard
-                            .write()
-                            .apply_batch(&inserts[parts[i].clone()], &dels[i]);
+                        let d = guard
+                            .mutate(|rma| rma.apply_batch(&inserts[parts[i].clone()], &dels[i]));
                         deleted.fetch_add(d, Relaxed);
                     }
                 });
             }
         });
-        deleted.load(Relaxed)
+        let (ins_left, del_left) = leftover.into_inner().expect("leftover lock poisoned");
+        (deleted.load(Relaxed), ins_left, del_left)
     }
 }
 

@@ -9,9 +9,9 @@
 //!
 //! * a [`ShardedRma`] partitions the key space across N shards with
 //!   [`Splitters`] (learned from a sample, a bulk-load batch, or
-//!   spread uniformly), each shard an independent `RwLock<Rma>`;
+//!   spread uniformly);
 //! * point operations route through a **branch-free** splitter search
-//!   and lock exactly one shard; a rebalance or resize inside one
+//!   and touch exactly one shard; a rebalance or resize inside one
 //!   shard never blocks its siblings;
 //! * [`scan`](ShardedRma::scan) / [`sum_range`](ShardedRma::sum_range)
 //!   stitch results across shard boundaries;
@@ -19,25 +19,51 @@
 //!   batch by shard and applies the sub-batches on parallel threads
 //!   through the paper's bottom-up bulk-load machinery;
 //! * every shard carries an [`AccessStats`] histogram — lock-free
-//!   `AtomicU64` bucket counters over the shard's key range, bumped on
-//!   `get`/`insert`/`remove`/scan entry and periodically halved
-//!   (exponential decay) so stale hotspots fade;
+//!   `AtomicU64` bucket counters bumped on every operation and
+//!   periodically halved so stale hotspots fade;
 //! * [`rebalance_shards`](ShardedRma::rebalance_shards) splits hot
 //!   shards at the equal-access point of their histogram CDF and
-//!   merges neighbours whose decayed access mass falls below a floor
-//!   ([`shard_stats`](ShardedRma::shard_stats) exposes the signal);
-//! * [`relearn_splitters`](ShardedRma::relearn_splitters) re-learns
-//!   the whole splitter set multi-way from the global histogram
-//!   ([`Splitters::from_weighted_histogram`]), guarded so uniform
-//!   workloads cause zero topology churn;
-//!   [`maintain`](ShardedRma::maintain) is the blessed periodic entry
-//!   point combining both.
+//!   merges cold neighbours; [`relearn_splitters`](ShardedRma::relearn_splitters)
+//!   re-learns the whole splitter set multi-way from the global
+//!   histogram; [`maintain`](ShardedRma::maintain) combines both, and
+//!   [`start_maintainer`](ShardedRma::start_maintainer) runs it from a
+//!   dedicated background thread so callers never pay maintenance
+//!   inline.
+//!
+//! ## The optimistic read path
+//!
+//! Point lookups and range sums take **zero locks** on the happy
+//! path:
+//!
+//! * **Routing** never locks: the topology (splitters + shard list)
+//!   lives behind an epoch-published handle
+//!   ([`optimistic::TopoHandle`]) — an `AtomicPtr` swap plus
+//!   generation-counted reader pins, so maintenance replaces the
+//!   topology while readers keep serving from the one they pinned.
+//! * **Shard reads** are seqlock-optimistic: each shard carries an
+//!   even/odd version word bumped around every `&mut Rma` section.
+//!   Readers pin the shard, verify the version is even, read through
+//!   the ordinary safe accessors, and validate the version after.
+//!   Writers publish the odd version *and wait for pinned readers to
+//!   drain* before mutating, which makes the optimistic read sound
+//!   (never concurrent with mutation — crucial because a racing
+//!   resize can unmap pages) while keeping readers wait-free: a
+//!   reader never spins on a writer; after a few failed attempts it
+//!   falls back to the shard's `RwLock`.
+//!
+//! The result: maintenance — even a full multi-way splitter re-learn
+//! rebuilding every shard — no longer stalls the read fleet. Readers
+//! observing a retired topology serve the pre-swap snapshot, which is
+//! linearizable at the instant they acquired the topology pointer.
+//! Writers that reach a retired shard re-route through the fresh
+//! topology (a bounded retry). [`ShardedRma::lock_acquisitions`] is
+//! the test hook proving the happy path stays lock-free.
 //!
 //! Concurrency contract: each operation is atomic within the shard(s)
-//! it locks; multi-shard reads (scans) release each shard before
-//! locking the next, so a concurrent writer may be observed between
-//! shards but never inside one. This matches the per-partition
-//! consistency that partitioned stores ship in practice.
+//! it touches; multi-shard reads (scans) visit shards left to right,
+//! so a concurrent writer may be observed between shards but never
+//! inside one. This matches the per-partition consistency that
+//! partitioned stores ship in practice.
 //!
 //! ```
 //! use rma_shard::{ShardConfig, ShardedRma};
@@ -53,26 +79,52 @@
 //! assert_eq!(index.get(421), None);
 //! assert_eq!(index.len(), 1001);
 //! ```
+//!
+//! Background maintenance (see [`maintainer`] for the lifecycle):
+//!
+//! ```
+//! use rma_shard::{MaintainerConfig, ShardConfig, ShardedRma};
+//! use std::sync::Arc;
+//!
+//! let index = Arc::new(ShardedRma::new(ShardConfig::default()));
+//! let maintainer = index.start_maintainer(MaintainerConfig::default());
+//! for k in 0..1000i64 {
+//!     index.insert(k, k);
+//! }
+//! let stats = maintainer.stop(); // joins the thread deterministically
+//! println!("background maintenance ran {} times", stats.runs());
+//! assert_eq!(index.len(), 1000);
+//! ```
 
 pub mod access;
 mod batch;
+pub mod maintainer;
 mod maintenance;
+mod optimistic;
 mod scan;
 mod shard;
 pub mod splitter;
 
 pub use access::AccessStats;
+pub use maintainer::{Maintainer, MaintainerConfig, MaintainerStats};
 pub use maintenance::{MaintenanceReport, RelearnReport, ShardStats};
+pub use shard::LockStats;
 pub use splitter::Splitters;
 
+use optimistic::{TopoGuard, TopoHandle};
 use rma_core::{Key, RmaConfig, Value};
 use shard::Topology;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shard-local operations between advances of the shared decay clock
 /// (batching keeps the global cache line off the per-op hot path).
 pub(crate) const DECAY_TICK_BATCH: u64 = 64;
+
+/// Bounds on the adaptive decay period so a rate estimate taken
+/// during a lull (or a burst) cannot disable decay or thrash it.
+const ADAPTIVE_DECAY_MIN: u64 = 256;
+const ADAPTIVE_DECAY_MAX: u64 = 1 << 26;
 
 /// How shard maintenance weighs shards when deciding splits and
 /// merges.
@@ -116,8 +168,17 @@ pub struct ShardConfig {
     pub hist_buckets: usize,
     /// Recorded operations (across the whole index) between histogram
     /// halvings: all shard histograms decay *together* so their
-    /// relative masses survive; `0` disables decay.
+    /// relative masses survive; `0` disables decay. When
+    /// `adaptive_decay` is set this is only the starting value — the
+    /// background maintainer retunes it from the observed op rate.
     pub decay_every: u64,
+    /// Adaptive decay half-life in seconds: when set, the background
+    /// maintainer retunes the decay period to `op_rate × half_life`,
+    /// so the histogram forgets a phase change in roughly constant
+    /// wall-clock time regardless of load ([`ShardedRma::retune_decay`]).
+    /// `None` keeps `decay_every` fixed. Ignored while `decay_every`
+    /// is `0` (decay disabled).
+    pub adaptive_decay: Option<f64>,
     /// Whether [`maintain`](ShardedRma::maintain) re-learns splitters
     /// multi-way from the access histogram.
     pub relearn: bool,
@@ -143,6 +204,7 @@ impl Default for ShardConfig {
             balance: BalancePolicy::ByAccess,
             hist_buckets: 32,
             decay_every: 8192,
+            adaptive_decay: None,
             relearn: true,
             relearn_trigger: 1.25,
             relearn_min_gain: 0.1,
@@ -174,6 +236,10 @@ impl ShardConfig {
         );
         assert!(self.hist_buckets >= 1, "need at least one histogram bucket");
         assert!(
+            self.adaptive_decay.is_none_or(|hl| hl > 0.0),
+            "adaptive decay half-life must be positive"
+        );
+        assert!(
             self.relearn_trigger >= 1.0,
             "relearn trigger below 1 would churn on balanced load"
         );
@@ -187,16 +253,25 @@ impl ShardConfig {
 
 /// A concurrent, key-range-sharded collection of [`rma_core::Rma`]s.
 /// All operations take `&self`; see the crate docs for the
-/// consistency contract.
+/// consistency contract and the lock-free read path.
 pub struct ShardedRma {
     cfg: ShardConfig,
-    topo: RwLock<Topology>,
-    /// Shared decay clock: total recorded operations. Every
-    /// `decay_every` ticks, *all* shard histograms halve together —
-    /// a global halving preserves the relative masses the re-learner
-    /// compares, whereas per-shard decay clocks would drive every
-    /// busy shard toward the same steady-state mass.
+    handle: TopoHandle,
+    /// Serializes topology publication: rebalance, re-learning and
+    /// the background maintainer all run under it. Readers and
+    /// writers never touch it.
+    maint_lock: Mutex<()>,
+    /// Shared decay clock: total recorded operations (in
+    /// [`DECAY_TICK_BATCH`] granules). Every `decay_period` ticks,
+    /// *all* shard histograms halve together — a global halving
+    /// preserves the relative masses the re-learner compares, whereas
+    /// per-shard decay clocks would drive every busy shard toward the
+    /// same steady-state mass.
     op_clock: AtomicU64,
+    /// The live decay period: starts at `cfg.decay_every`, retuned by
+    /// the background maintainer when `cfg.adaptive_decay` is set.
+    decay_period: AtomicU64,
+    lock_stats: Arc<LockStats>,
 }
 
 impl ShardedRma {
@@ -211,11 +286,19 @@ impl ShardedRma {
     /// Empty index with explicit splitter keys.
     pub fn with_splitters(cfg: ShardConfig, splitters: Splitters) -> Self {
         cfg.validate();
-        let topo = Topology::empty(splitters, &cfg);
+        let lock_stats = Arc::new(LockStats::default());
+        let topo = Topology::empty(splitters, &cfg, &lock_stats);
+        Self::from_parts(cfg, topo, lock_stats)
+    }
+
+    pub(crate) fn from_parts(cfg: ShardConfig, topo: Topology, lock_stats: Arc<LockStats>) -> Self {
         ShardedRma {
             cfg,
-            topo: RwLock::new(topo),
+            handle: TopoHandle::new(topo),
+            maint_lock: Mutex::new(()),
             op_clock: AtomicU64::new(0),
+            decay_period: AtomicU64::new(cfg.decay_every),
+            lock_stats,
         }
     }
 
@@ -228,12 +311,28 @@ impl ShardedRma {
         Self::with_splitters(cfg, splitters)
     }
 
-    pub(crate) fn topo(&self) -> RwLockReadGuard<'_, Topology> {
-        self.topo.read().expect("topology lock poisoned")
+    /// Pins the current topology (lock-free; see
+    /// [`optimistic::TopoHandle`]).
+    pub(crate) fn topo(&self) -> TopoGuard<'_> {
+        self.handle.pin()
+    }
+
+    pub(crate) fn topo_handle(&self) -> &TopoHandle {
+        &self.handle
+    }
+
+    pub(crate) fn lock_stats_arc(&self) -> &Arc<LockStats> {
+        &self.lock_stats
+    }
+
+    /// Serializes maintenance; every topology publication happens
+    /// under this guard.
+    pub(crate) fn maintenance_guard(&self) -> MutexGuard<'_, ()> {
+        self.maint_lock.lock().expect("maintenance lock poisoned")
     }
 
     /// Advances the shared decay clock by `n` recorded operations;
-    /// for every `decay_every` boundary the clock crosses, every
+    /// for every `decay_period` boundary the clock crosses, every
     /// shard's histogram halves in one sweep. Capped at 64 halvings —
     /// beyond that a u64 counter is zero anyway.
     ///
@@ -241,13 +340,14 @@ impl ShardedRma {
     /// shard-local operations (not per op), so the shared clock's
     /// cache line is touched ~64× less often than the shards' own
     /// counters — the histogram layer stays coordination-free on the
-    /// hot path.
+    /// hot path. The clock always advances (the background maintainer
+    /// reads it as the op-rate signal) even when decay is disabled.
     pub(crate) fn tick_decay(&self, topo: &Topology, n: u64) {
-        let period = self.cfg.decay_every;
+        let prev = self.op_clock.fetch_add(n, Relaxed);
+        let period = self.decay_period.load(Relaxed);
         if period == 0 {
             return;
         }
-        let prev = self.op_clock.fetch_add(n, Relaxed);
         let crossings = ((prev + n) / period - prev / period).min(64);
         for _ in 0..crossings {
             for shard in &topo.shards {
@@ -256,13 +356,52 @@ impl ShardedRma {
         }
     }
 
-    pub(crate) fn topo_mut(&self) -> RwLockWriteGuard<'_, Topology> {
-        self.topo.write().expect("topology lock poisoned")
+    /// Total operations recorded on the shared clock (in
+    /// [`DECAY_TICK_BATCH`] granules for point ops; exact for
+    /// batches). The background maintainer differentiates this to
+    /// estimate the op rate.
+    pub fn op_count(&self) -> u64 {
+        self.op_clock.load(Relaxed)
+    }
+
+    /// The decay period currently in force (`cfg.decay_every` until
+    /// the adaptive maintainer retunes it).
+    pub fn decay_period(&self) -> u64 {
+        self.decay_period.load(Relaxed)
+    }
+
+    /// Retunes the decay period for an observed op rate so one
+    /// histogram half-life spans `cfg.adaptive_decay` seconds of wall
+    /// clock: `period = rate × half_life`, clamped to sane bounds.
+    /// No-op unless `adaptive_decay` is configured and decay is
+    /// enabled. Called by the background maintainer each poll; public
+    /// so deployments with their own schedulers can drive it too.
+    pub fn retune_decay(&self, ops_per_sec: f64) {
+        let Some(half_life) = self.cfg.adaptive_decay else {
+            return;
+        };
+        if self.cfg.decay_every == 0 || !ops_per_sec.is_finite() || ops_per_sec <= 0.0 {
+            return;
+        }
+        let period = (ops_per_sec * half_life) as u64;
+        self.decay_period.store(
+            period.clamp(ADAPTIVE_DECAY_MIN, ADAPTIVE_DECAY_MAX),
+            Relaxed,
+        );
     }
 
     /// The configuration this index was built with.
     pub fn config(&self) -> &ShardConfig {
         &self.cfg
+    }
+
+    /// `RwLock` acquisitions (shared, exclusive) since construction —
+    /// the hook that verifies the happy-path read takes zero locks.
+    pub fn lock_acquisitions(&self) -> (u64, u64) {
+        (
+            self.lock_stats.read_locks.load(Relaxed),
+            self.lock_stats.write_locks.load(Relaxed),
+        )
     }
 
     /// Current number of shards (maintenance may change it).
@@ -298,8 +437,10 @@ impl ShardedRma {
 
     // ------------------------------------------------- point ops --
 
-    /// Point lookup: routes to one shard and reads under its shared
-    /// lock.
+    /// Point lookup. Lock-free on the happy path: routes through the
+    /// pinned topology and reads the shard optimistically, falling
+    /// back to the shard's read lock only after repeated writer
+    /// interference.
     pub fn get(&self, k: Key) -> Option<Value> {
         let topo = self.topo();
         let shard = &topo.shards[topo.splitters.route(k)];
@@ -308,36 +449,57 @@ impl ShardedRma {
         if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
             self.tick_decay(&topo, DECAY_TICK_BATCH);
         }
-        let found = shard.read().get(k);
-        found
+        match shard.try_optimistic(|rma| rma.get(k)) {
+            Some(found) => found,
+            None => shard.read().get(k),
+        }
     }
 
     /// Inserts `(k, v)` (duplicates kept): routes to one shard and
-    /// writes under its exclusive lock. A rebalance or resize this
-    /// triggers stays inside the shard.
+    /// writes under its exclusive lock (plus the seqlock writer
+    /// protocol). A rebalance or resize this triggers stays inside
+    /// the shard. Re-routes if maintenance retired the shard
+    /// mid-flight.
     pub fn insert(&self, k: Key, v: Value) {
-        let topo = self.topo();
-        let shard = &topo.shards[topo.splitters.route(k)];
-        let prev = shard.writes.fetch_add(1, Relaxed);
-        shard.stats.record(k);
-        if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-            self.tick_decay(&topo, DECAY_TICK_BATCH);
+        loop {
+            let topo = self.topo();
+            let shard = &topo.shards[topo.splitters.route(k)];
+            let mut guard = shard.write();
+            if guard.is_retired() {
+                drop(guard);
+                drop(topo);
+                std::thread::yield_now();
+                continue;
+            }
+            let prev = shard.writes.fetch_add(1, Relaxed);
+            shard.stats.record(k);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(&topo, DECAY_TICK_BATCH);
+            }
+            guard.mutate(|rma| rma.insert(k, v));
+            return;
         }
-        let mut guard = shard.write();
-        guard.insert(k, v);
     }
 
     /// Removes one element with key exactly `k`, returning its value.
     pub fn remove(&self, k: Key) -> Option<Value> {
-        let topo = self.topo();
-        let shard = &topo.shards[topo.splitters.route(k)];
-        let prev = shard.writes.fetch_add(1, Relaxed);
-        shard.stats.record(k);
-        if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-            self.tick_decay(&topo, DECAY_TICK_BATCH);
+        loop {
+            let topo = self.topo();
+            let shard = &topo.shards[topo.splitters.route(k)];
+            let mut guard = shard.write();
+            if guard.is_retired() {
+                drop(guard);
+                drop(topo);
+                std::thread::yield_now();
+                continue;
+            }
+            let prev = shard.writes.fetch_add(1, Relaxed);
+            shard.stats.record(k);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(&topo, DECAY_TICK_BATCH);
+            }
+            return guard.mutate(|rma| rma.remove(k));
         }
-        let removed = shard.write().remove(k);
-        removed
     }
 
     // ---------------------------------------------- access signal --
@@ -500,10 +662,68 @@ mod tests {
     }
 
     #[test]
+    fn happy_path_get_takes_no_locks() {
+        let s = ShardedRma::with_splitters(small_cfg(4), Splitters::new(vec![250, 500, 750]));
+        for k in 0..1000i64 {
+            s.insert(k, k);
+        }
+        let (reads_before, writes_before) = s.lock_acquisitions();
+        for k in (0..1000).step_by(3) {
+            assert_eq!(s.get(k), Some(k));
+        }
+        let (reads_after, writes_after) = s.lock_acquisitions();
+        assert_eq!(
+            reads_after - reads_before,
+            0,
+            "uncontended gets must not take the read lock"
+        );
+        assert_eq!(writes_after - writes_before, 0);
+    }
+
+    #[test]
+    fn adaptive_decay_retunes_from_op_rate() {
+        let mut cfg = small_cfg(2);
+        cfg.decay_every = 8192;
+        cfg.adaptive_decay = Some(2.0); // two-second half-life
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000]));
+        assert_eq!(s.decay_period(), 8192);
+        // 100k ops/s × 2 s half-life → period 200k.
+        s.retune_decay(100_000.0);
+        assert_eq!(s.decay_period(), 200_000);
+        // A lull cannot disable decay: clamped at the floor.
+        s.retune_decay(1.0);
+        assert_eq!(s.decay_period(), super::ADAPTIVE_DECAY_MIN);
+        // A burst cannot freeze history forever: clamped at the cap.
+        s.retune_decay(1e18);
+        assert_eq!(s.decay_period(), super::ADAPTIVE_DECAY_MAX);
+        // Nonsense rates are ignored.
+        s.retune_decay(f64::NAN);
+        assert_eq!(s.decay_period(), super::ADAPTIVE_DECAY_MAX);
+    }
+
+    #[test]
+    fn fixed_decay_ignores_retune() {
+        let s = ShardedRma::with_splitters(small_cfg(2), Splitters::new(vec![1000]));
+        let before = s.decay_period();
+        s.retune_decay(1_000_000.0);
+        assert_eq!(s.decay_period(), before, "adaptive_decay off: no retune");
+    }
+
+    #[test]
     #[should_panic(expected = "merge factor")]
     fn invalid_config_panics() {
         let cfg = ShardConfig {
             merge_factor: 3.0,
+            ..ShardConfig::default()
+        };
+        let _ = ShardedRma::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn invalid_adaptive_decay_panics() {
+        let cfg = ShardConfig {
+            adaptive_decay: Some(0.0),
             ..ShardConfig::default()
         };
         let _ = ShardedRma::new(cfg);

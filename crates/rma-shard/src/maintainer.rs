@@ -1,0 +1,295 @@
+//! The background maintenance thread: calls
+//! [`maintain`](ShardedRma::maintain) on a cadence so callers never
+//! pay splitter re-learning or shard rebalancing inline.
+//!
+//! # Lifecycle
+//!
+//! [`ShardedRma::start_maintainer`] spawns one dedicated thread (the
+//! index must be in an `Arc` so the thread can co-own it). Each poll
+//! the thread:
+//!
+//! 1. estimates the op rate from the shared op clock and — when
+//!    [`ShardConfig::adaptive_decay`](crate::ShardConfig::adaptive_decay)
+//!    is set — retunes the histogram decay period so phase changes
+//!    are forgotten in roughly constant wall-clock time;
+//! 2. runs [`maintain`](ShardedRma::maintain) when the access
+//!    imbalance crosses [`MaintainerConfig::imbalance_trigger`] and
+//!    at least [`MaintainerConfig::min_ops_between`] operations
+//!    arrived since the previous run (so an idle index never churns).
+//!
+//! Because the read path is optimistic (see [`crate::optimistic`]),
+//! maintenance running on this thread does not block readers: they
+//! keep serving from the pre-publication topology until the swap and
+//! from the new one after. Writers queue only on the shards actually
+//! being restructured.
+//!
+//! Stopping: [`Maintainer::stop`] (or dropping the handle) flags the
+//! thread, unparks it and joins. The thread never outlives the
+//! handle, and dropping the last index `Arc` after the join frees
+//! everything — there is no detached state.
+
+use crate::ShardedRma;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cadence and triggers of the background maintainer.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintainerConfig {
+    /// Time between polls of the imbalance/op-rate signals.
+    pub poll_interval: Duration,
+    /// [`ShardedRma::access_imbalance`] threshold (max/mean) at or
+    /// above which a poll escalates to [`ShardedRma::maintain`].
+    /// `1.0` maintains on every eligible poll.
+    pub imbalance_trigger: f64,
+    /// Minimum operations (shared-clock granules) between consecutive
+    /// maintenance runs — the backstop that keeps a hot but stable
+    /// imbalance from re-running maintenance every poll.
+    pub min_ops_between: u64,
+}
+
+impl Default for MaintainerConfig {
+    fn default() -> Self {
+        MaintainerConfig {
+            poll_interval: Duration::from_millis(25),
+            imbalance_trigger: 1.25,
+            min_ops_between: 4096,
+        }
+    }
+}
+
+/// Counters published by the maintainer thread (all monotonic).
+#[derive(Debug, Default)]
+pub struct MaintainerStats {
+    polls: AtomicU64,
+    runs: AtomicU64,
+    relearns: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+}
+
+impl MaintainerStats {
+    /// Polls of the trigger signals.
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Relaxed)
+    }
+    /// Escalations to [`ShardedRma::maintain`].
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Relaxed)
+    }
+    /// Runs in which the splitter set was actually re-learned.
+    pub fn relearns(&self) -> u64 {
+        self.relearns.load(Relaxed)
+    }
+    /// Shard splits performed across all runs.
+    pub fn splits(&self) -> u64 {
+        self.splits.load(Relaxed)
+    }
+    /// Shard merges performed across all runs.
+    pub fn merges(&self) -> u64 {
+        self.merges.load(Relaxed)
+    }
+}
+
+/// Handle to a running background maintainer; stops and joins on
+/// [`Maintainer::stop`] or drop.
+pub struct Maintainer {
+    stop: Arc<AtomicBool>,
+    stats: Arc<MaintainerStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Maintainer {
+    /// Live counters (shared with the thread).
+    pub fn stats(&self) -> &MaintainerStats {
+        &self.stats
+    }
+
+    /// Signals the thread, joins it, and returns the final counters.
+    pub fn stop(mut self) -> Arc<MaintainerStats> {
+        self.shutdown();
+        Arc::clone(&self.stats)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(handle) = self.thread.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Maintainer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl ShardedRma {
+    /// Spawns the background maintenance thread. The returned handle
+    /// owns the thread: keep it alive for as long as maintenance
+    /// should run, and drop (or [`stop`](Maintainer::stop)) it to
+    /// shut down deterministically. Multiple maintainers are safe
+    /// (maintenance is serialized internally) but pointless.
+    pub fn start_maintainer(self: &Arc<Self>, cfg: MaintainerConfig) -> Maintainer {
+        assert!(
+            cfg.poll_interval > Duration::ZERO,
+            "poll interval must be positive"
+        );
+        assert!(
+            cfg.imbalance_trigger >= 1.0,
+            "imbalance trigger below 1 would churn on balanced load"
+        );
+        let index = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(MaintainerStats::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("rma-maintainer".into())
+                .spawn(move || maintainer_loop(&index, &cfg, &stop, &stats))
+                .expect("spawn maintainer thread")
+        };
+        Maintainer {
+            stop,
+            stats,
+            thread: Some(thread),
+        }
+    }
+}
+
+fn maintainer_loop(
+    index: &ShardedRma,
+    cfg: &MaintainerConfig,
+    stop: &AtomicBool,
+    stats: &MaintainerStats,
+) {
+    let mut last_ops = index.op_count();
+    let mut last_maintained_ops = last_ops;
+    let mut last_poll = Instant::now();
+    while !stop.load(Relaxed) {
+        std::thread::park_timeout(cfg.poll_interval);
+        if stop.load(Relaxed) {
+            break;
+        }
+        stats.polls.fetch_add(1, Relaxed);
+        let ops = index.op_count();
+        let elapsed = last_poll.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            // `reset_access_stats` rewinds the clock; saturate so a
+            // rewind reads as a quiet interval, not a huge rate.
+            index.retune_decay(ops.saturating_sub(last_ops) as f64 / elapsed);
+        }
+        last_poll = Instant::now();
+        // A clock rewind also invalidates the op-based backstop.
+        if ops < last_maintained_ops {
+            last_maintained_ops = ops;
+        }
+        last_ops = ops;
+        let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;
+        if enough_ops && index.access_imbalance() >= cfg.imbalance_trigger {
+            let (relearn, rebalance) = index.maintain();
+            stats.runs.fetch_add(1, Relaxed);
+            if relearn.relearned {
+                stats.relearns.fetch_add(1, Relaxed);
+            }
+            stats.splits.fetch_add(rebalance.splits as u64, Relaxed);
+            stats.merges.fetch_add(rebalance.merges as u64, Relaxed);
+            last_maintained_ops = index.op_count();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::small_cfg;
+    use crate::{ShardedRma, Splitters};
+
+    #[test]
+    fn maintainer_starts_and_stops_cleanly() {
+        let s = Arc::new(ShardedRma::new(small_cfg(4)));
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            ..Default::default()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = m.stop();
+        assert!(stats.polls() > 0, "thread never polled");
+    }
+
+    #[test]
+    fn maintainer_rebalances_a_skewed_index() {
+        let mut cfg = small_cfg(4);
+        cfg.min_split_len = 64;
+        let s = Arc::new(ShardedRma::with_splitters(
+            cfg,
+            Splitters::new(vec![1000, 2000, 3000]),
+        ));
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            imbalance_trigger: 1.25,
+            min_ops_between: 64,
+        });
+        // Hammer shard 0 only; the background thread must react.
+        for round in 0..200 {
+            for k in 0..500i64 {
+                s.insert(k, k);
+            }
+            if m.stats().runs() > 0 {
+                let _ = round;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = m.stop();
+        assert!(
+            stats.runs() > 0,
+            "maintainer never ran: polls={} imbalance={}",
+            stats.polls(),
+            s.access_imbalance()
+        );
+        s.check_invariants();
+        assert!(
+            s.num_shards() > 4 || stats.relearns() > 0,
+            "maintenance ran but changed nothing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dropping_the_handle_joins_the_thread() {
+        let s = Arc::new(ShardedRma::new(small_cfg(2)));
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_secs(3600), // parked until unparked
+            ..Default::default()
+        });
+        let t0 = Instant::now();
+        drop(m); // must unpark + join promptly, not wait out the hour
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn adaptive_decay_is_driven_by_the_maintainer() {
+        let mut cfg = small_cfg(2);
+        cfg.decay_every = 8192;
+        cfg.adaptive_decay = Some(0.001); // 1 ms half-life: tiny period
+        let s = Arc::new(ShardedRma::with_splitters(cfg, Splitters::new(vec![1000])));
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            ..Default::default()
+        });
+        for _ in 0..200 {
+            for k in 0..512i64 {
+                let _ = s.get(k);
+            }
+            if s.decay_period() != 8192 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        m.stop();
+        assert_ne!(s.decay_period(), 8192, "maintainer never retuned decay");
+    }
+}

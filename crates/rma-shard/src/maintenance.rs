@@ -18,22 +18,38 @@
 //!   re-learning improves by at least `relearn_min_gain` — so uniform
 //!   workloads cause zero topology churn;
 //! * [`ShardedRma::maintain`] is the periodic entry point combining
-//!   both.
+//!   both (and what the background maintainer thread calls).
 //!
-//! All three hold the topology write lock, so they run exclusively —
-//! the sharded analogue of an RMA resize, while normal operations are
-//! the analogue of segment-local rebalances. Restructured shards are
-//! rebuilt through the paper's bulk-load machinery and their
-//! histograms are **re-seeded** from the learned signal (clipped to
-//! the new key range), so maintenance never resets what the workload
-//! taught the structure. [`BalancePolicy::ByLen`] restores the PR-1
-//! median-split behaviour as an explicit baseline.
+//! # Maintenance vs. the lock-free read path
+//!
+//! Maintenance no longer takes a fleet-wide lock. Every structural
+//! change is published **copy-on-write**: the maintainer (serialized
+//! by the maintenance mutex) drains the affected shards under their
+//! write locks, builds a successor [`Topology`] that reuses the
+//! untouched shards' `Arc`s, marks the replaced shards retired,
+//! swaps the topology pointer, releases the locks, and only then
+//! waits out the readers still pinned to the displaced topology
+//! (generation-counted grace period — see [`crate::optimistic`]).
+//! Readers therefore never block behind maintenance: they either
+//! serve from the fresh topology or finish against the retired one,
+//! whose drained shards stay frozen and readable until the grace
+//! period ends. Writers that reach a retired shard re-route. The
+//! drained elements are *copied* into the successor shards, so the
+//! old topology remains a complete, consistent snapshot for its
+//! remaining readers.
+//!
+//! Restructured shards are rebuilt through the paper's bulk-load
+//! machinery and their histograms are **re-seeded** from the learned
+//! signal (clipped to the new key range), so maintenance never resets
+//! what the workload taught the structure. [`BalancePolicy::ByLen`]
+//! restores the PR-1 median-split behaviour as an explicit baseline.
 
 use crate::access::AccessStats;
-use crate::shard::Shard;
+use crate::shard::{Shard, Topology};
 use crate::{BalancePolicy, ShardedRma, Splitters};
 use rma_core::{Key, Rma, Value};
 use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 /// A snapshot of one shard's load.
 #[derive(Debug, Clone)]
@@ -210,135 +226,155 @@ impl ShardedRma {
         }
     }
 
+    /// Builds a successor shard over `elems` covering shard range `i`
+    /// of `splitters`, histogram seeded from `wb`.
+    fn build_shard(
+        &self,
+        splitters: &Splitters,
+        i: usize,
+        elems: &[(Key, Value)],
+        wb: &[(Key, Key, u64)],
+    ) -> Arc<Shard> {
+        let mut rma = Rma::new(self.cfg.rma);
+        rma.load_bulk(elems);
+        let (lo, hi) = splitters.range_of(i);
+        let shard = Shard::new(rma, lo, hi, &self.cfg, Arc::clone(self.lock_stats_arc()));
+        shard.stats.seed(&clip_weights(wb, lo, hi));
+        Arc::new(shard)
+    }
+
     /// Splits shards whose balance weight exceeds `split_factor ×` the
     /// mean and merges adjacent pairs whose combined weight falls
     /// below the `merge_factor ×` mean floor. Under the default
     /// [`BalancePolicy::ByAccess`], split points come from the
     /// shard histogram's equal-access CDF point and restructured
-    /// shards inherit their parents' (clipped) histograms. Exclusive:
-    /// blocks all other operations for the duration. Restructured
-    /// shards restart their read/write counters.
+    /// shards inherit their parents' (clipped) histograms. Each step
+    /// publishes a copy-on-write topology: concurrent readers keep
+    /// serving throughout, writers re-route past the replaced shards.
+    /// Restructured shards restart their read/write counters.
     pub fn rebalance_shards(&self) -> MaintenanceReport {
-        let mut guard = self.topo_mut();
-        let topo = &mut *guard;
+        let _maint = self.maintenance_guard();
         let mut report = MaintenanceReport::default();
-        let policy = self.cfg.balance;
-
         // Split pass: repeatedly split the heaviest offender. Bounded
         // so a pathological distribution cannot spin here forever.
         for _ in 0..64 {
-            let lens: Vec<usize> = topo
-                .shards
-                .iter_mut()
-                .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
-                .collect();
-            let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
-            let weights = Self::balance_weights(&lens, &masses, policy);
-            let total: u64 = weights.iter().sum();
-            if total == 0 {
+            if !self.split_step() {
                 break;
             }
-            let mean = (total / weights.len() as u64).max(1);
-            let (hot, &hot_w) = weights
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &w)| w)
-                .expect("at least one shard");
-            if (hot_w as f64) <= self.cfg.split_factor * mean as f64
-                || lens[hot] < self.cfg.min_split_len
-            {
-                break;
-            }
-            let elems: Vec<(Key, Value)> = topo.shards[hot]
-                .rma
-                .get_mut()
-                .expect("shard lock poisoned")
-                .iter()
-                .collect();
-            let cut = match policy {
-                BalancePolicy::ByLen => median_cut(&elems),
-                BalancePolicy::ByAccess => access_cut(&elems, &topo.shards[hot].stats),
-            };
-            let Some(cut) = cut else {
-                break; // one giant duplicate run: nothing to split on
-            };
-            let split_key = elems[cut].0;
-            let parent_wb = topo.shards[hot].stats.weighted_buckets();
-            let mut left = Rma::new(self.cfg.rma);
-            left.load_bulk(&elems[..cut]);
-            let mut right = Rma::new(self.cfg.rma);
-            right.load_bulk(&elems[cut..]);
-            topo.splitters.split_shard(hot, split_key);
-            let (llo, lhi) = topo.splitters.range_of(hot);
-            let (rlo, rhi) = topo.splitters.range_of(hot + 1);
-            let left = Shard::new(left, llo, lhi, &self.cfg);
-            left.stats.seed(&clip_weights(&parent_wb, llo, lhi));
-            let right = Shard::new(right, rlo, rhi, &self.cfg);
-            right.stats.seed(&clip_weights(&parent_wb, rlo, rhi));
-            topo.shards[hot] = left;
-            topo.shards.insert(hot + 1, right);
             report.splits += 1;
         }
-
         // Merge pass: collapse the leftmost cold pair until none
-        // remains. Under ByAccess a merge additionally requires the
-        // combined length to stay below the split trigger, so merging
-        // two access-cold but element-heavy shards cannot manufacture
-        // an instantly-splittable giant.
+        // remains.
         for _ in 0..64 {
-            let n = topo.shards.len();
-            if n <= 1 {
+            if !self.merge_step() {
                 break;
             }
-            let lens: Vec<usize> = topo
-                .shards
-                .iter_mut()
-                .map(|s| s.rma.get_mut().expect("shard lock poisoned").len())
-                .collect();
-            let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
-            let weights = Self::balance_weights(&lens, &masses, policy);
-            let total: u64 = weights.iter().sum();
-            let total_len: usize = lens.iter().sum();
-            if total == 0 || total_len == 0 {
-                break; // keep learned splitters while the index is empty
-            }
-            let mean = (total / n as u64).max(1);
-            let mean_len = (total_len / n).max(1);
-            let cold = (0..n - 1).find(|&i| {
-                let combined = (weights[i] + weights[i + 1]) as f64;
-                let len_ok = policy == BalancePolicy::ByLen
-                    || ((lens[i] + lens[i + 1]) as f64) <= self.cfg.split_factor * mean_len as f64;
-                combined < self.cfg.merge_factor * mean as f64 && len_ok
-            });
-            let Some(i) = cold else { break };
-            let mut elems: Vec<(Key, Value)> = topo.shards[i]
-                .rma
-                .get_mut()
-                .expect("shard lock poisoned")
-                .iter()
-                .collect();
-            // Right neighbour's keys all exceed the removed splitter,
-            // so concatenation preserves sorted order.
-            elems.extend(
-                topo.shards[i + 1]
-                    .rma
-                    .get_mut()
-                    .expect("shard lock poisoned")
-                    .iter(),
-            );
-            let mut pair_wb = topo.shards[i].stats.weighted_buckets();
-            pair_wb.extend(topo.shards[i + 1].stats.weighted_buckets());
-            let mut merged = Rma::new(self.cfg.rma);
-            merged.load_bulk(&elems);
-            topo.splitters.merge_with_next(i);
-            let (lo, hi) = topo.splitters.range_of(i);
-            let merged = Shard::new(merged, lo, hi, &self.cfg);
-            merged.stats.seed(&pair_wb);
-            topo.shards[i] = merged;
-            topo.shards.remove(i + 1);
             report.merges += 1;
         }
         report
+    }
+
+    /// One split publication; `false` when no shard qualifies.
+    /// Caller holds the maintenance mutex.
+    fn split_step(&self) -> bool {
+        let topo = self.topo_handle().load_exclusive();
+        let policy = self.cfg.balance;
+        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let weights = Self::balance_weights(&lens, &masses, policy);
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return false;
+        }
+        let mean = (total / weights.len() as u64).max(1);
+        let (hot, &hot_w) = weights
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &w)| w)
+            .expect("at least one shard");
+        if (hot_w as f64) <= self.cfg.split_factor * mean as f64
+            || lens[hot] < self.cfg.min_split_len
+        {
+            return false;
+        }
+        let shard = &topo.shards[hot];
+        let guard = shard.write();
+        let elems: Vec<(Key, Value)> = guard.rma().iter().collect();
+        let cut = match policy {
+            BalancePolicy::ByLen => median_cut(&elems),
+            BalancePolicy::ByAccess => access_cut(&elems, &shard.stats),
+        };
+        let Some(cut) = cut else {
+            return false; // one giant duplicate run: nothing to split on
+        };
+        let split_key = elems[cut].0;
+        let parent_wb = shard.stats.weighted_buckets();
+        let mut splitters = topo.splitters.clone();
+        splitters.split_shard(hot, split_key);
+        let left = self.build_shard(&splitters, hot, &elems[..cut], &parent_wb);
+        let right = self.build_shard(&splitters, hot + 1, &elems[cut..], &parent_wb);
+        let mut shards = topo.shards.clone();
+        shards[hot] = left;
+        shards.insert(hot + 1, right);
+        guard.retire();
+        let retired = self.topo_handle().publish(Topology { splitters, shards });
+        drop(guard); // release before the grace wait: queued writers must re-route
+        self.topo_handle().reclaim(retired);
+        true
+    }
+
+    /// One merge publication; `false` when no adjacent pair
+    /// qualifies. Under ByAccess a merge additionally requires the
+    /// combined length to stay below the split trigger, so merging
+    /// two access-cold but element-heavy shards cannot manufacture an
+    /// instantly-splittable giant. Caller holds the maintenance mutex.
+    fn merge_step(&self) -> bool {
+        let topo = self.topo_handle().load_exclusive();
+        let policy = self.cfg.balance;
+        let n = topo.shards.len();
+        if n <= 1 {
+            return false;
+        }
+        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let weights = Self::balance_weights(&lens, &masses, policy);
+        let total: u64 = weights.iter().sum();
+        let total_len: usize = lens.iter().sum();
+        if total == 0 || total_len == 0 {
+            return false; // keep learned splitters while the index is empty
+        }
+        let mean = (total / n as u64).max(1);
+        let mean_len = (total_len / n).max(1);
+        let cold = (0..n - 1).find(|&i| {
+            let combined = (weights[i] + weights[i + 1]) as f64;
+            let len_ok = policy == BalancePolicy::ByLen
+                || ((lens[i] + lens[i + 1]) as f64) <= self.cfg.split_factor * mean_len as f64;
+            combined < self.cfg.merge_factor * mean as f64 && len_ok
+        });
+        let Some(i) = cold else { return false };
+        // Ascending lock order; point writers hold at most one shard
+        // lock at a time, so this cannot deadlock.
+        let left_guard = topo.shards[i].write();
+        let right_guard = topo.shards[i + 1].write();
+        let mut elems: Vec<(Key, Value)> = left_guard.rma().iter().collect();
+        // Right neighbour's keys all exceed the removed splitter,
+        // so concatenation preserves sorted order.
+        elems.extend(right_guard.rma().iter());
+        let mut pair_wb = topo.shards[i].stats.weighted_buckets();
+        pair_wb.extend(topo.shards[i + 1].stats.weighted_buckets());
+        let mut splitters = topo.splitters.clone();
+        splitters.merge_with_next(i);
+        let merged = self.build_shard(&splitters, i, &elems, &pair_wb);
+        let mut shards = topo.shards.clone();
+        shards[i] = merged;
+        shards.remove(i + 1);
+        left_guard.retire();
+        right_guard.retire();
+        let retired = self.topo_handle().publish(Topology { splitters, shards });
+        drop(right_guard);
+        drop(left_guard);
+        self.topo_handle().reclaim(retired);
+        true
     }
 
     /// Re-learns the splitter set multi-way from the global access
@@ -352,11 +388,14 @@ impl ShardedRma {
     /// max/mean access imbalance reaches `relearn_trigger` **and** the
     /// predicted imbalance under the candidate splitters improves on
     /// it by at least `relearn_min_gain`. Uniform workloads therefore
-    /// cause zero churn. Exclusive; rebuilt shards keep their learned
-    /// histograms (re-binned to the new ranges).
+    /// cause zero churn. The rebuild drains every shard under its
+    /// write lock (writers queue; readers keep serving optimistically
+    /// from the pre-rebuild topology) and publishes the successor
+    /// copy-on-write; rebuilt shards keep their learned histograms
+    /// (re-binned to the new ranges).
     pub fn relearn_splitters(&self) -> RelearnReport {
-        let mut guard = self.topo_mut();
-        let topo = &mut *guard;
+        let _maint = self.maintenance_guard();
+        let topo = self.topo_handle().load_exclusive();
         let n = topo.shards.len();
         let mut report = RelearnReport {
             shards_before: n,
@@ -389,27 +428,29 @@ impl ShardedRma {
             return report; // gain too small to justify the churn
         }
 
-        // Rebuild: shards are contiguous and sorted, so concatenating
+        // Rebuild: drain every shard under its write lock (ascending
+        // order). Shards are contiguous and sorted, so concatenating
         // them yields the full sorted content.
+        let guards: Vec<_> = topo.shards.iter().map(|s| s.write()).collect();
         let mut elems: Vec<(Key, Value)> = Vec::new();
-        for shard in topo.shards.iter_mut() {
-            elems.extend(shard.rma.get_mut().expect("shard lock poisoned").iter());
+        for guard in &guards {
+            guard.rma().collect_into(&mut elems);
         }
         let parts = candidate.partition_sorted(&elems);
-        let shards: Vec<Shard> = (0..candidate.num_shards())
-            .map(|i| {
-                let mut rma = Rma::new(self.cfg.rma);
-                rma.load_bulk(&elems[parts[i].clone()]);
-                let (lo, hi) = candidate.range_of(i);
-                let shard = Shard::new(rma, lo, hi, &self.cfg);
-                shard.stats.seed(&clip_weights(&wb, lo, hi));
-                shard
-            })
+        let shards: Vec<Arc<Shard>> = (0..candidate.num_shards())
+            .map(|i| self.build_shard(&candidate, i, &elems[parts[i].clone()], &wb))
             .collect();
         report.shards_after = shards.len();
         report.relearned = true;
-        topo.splitters = candidate;
-        topo.shards = shards;
+        for guard in &guards {
+            guard.retire();
+        }
+        let retired = self.topo_handle().publish(Topology {
+            splitters: candidate,
+            shards,
+        });
+        drop(guards); // release before the grace wait (see split_step)
+        self.topo_handle().reclaim(retired);
         report
     }
 
@@ -632,5 +673,43 @@ mod tests {
         // path may fire, but the combination must leave a consistent,
         // more balanced topology.
         assert!(relearn.relearned || rebalance.splits > 0 || rebalance.merges > 0);
+    }
+
+    #[test]
+    fn concurrent_reads_survive_relearn_publication() {
+        // A reader that pinned the pre-relearn topology must keep
+        // serving correct values while the rebuild publishes.
+        let mut cfg = small_cfg(4);
+        cfg.min_split_len = 64;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));
+        for k in 0..4000i64 {
+            s.insert(k, k);
+        }
+        s.reset_access_stats();
+        for _ in 0..20 {
+            for k in 2100..2200i64 {
+                let _ = s.get(k);
+            }
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|sc| {
+            let s = &s;
+            let stop_ref = &stop;
+            let reader = sc.spawn(move || {
+                let mut checked = 0u64;
+                while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                    for k in (0..4000i64).step_by(97) {
+                        assert_eq!(s.get(k), Some(k));
+                        checked += 1;
+                    }
+                }
+                checked
+            });
+            let report = s.relearn_splitters();
+            assert!(report.relearned, "{report:?}");
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(reader.join().unwrap() > 0);
+        });
+        s.check_invariants();
     }
 }

@@ -4,13 +4,22 @@
 //! Shards cover disjoint, contiguous key ranges in shard order, so a
 //! range operation starts at the routed shard and walks right,
 //! continuing from `Key::MIN` inside every subsequent shard (whose
-//! keys all exceed the previous shard's upper bound). Locks are taken
-//! one shard at a time — see the crate docs for the consistency
-//! contract.
+//! keys all exceed the previous shard's upper bound). Per-shard reads
+//! go through the optimistic seqlock path where the result can be
+//! buffered or is scalar ([`ShardedRma::sum_range`],
+//! [`ShardedRma::first_ge`], moderate [`ShardedRma::scan`] windows),
+//! falling back to the shard read lock otherwise — see the crate docs
+//! for the consistency contract.
 
 use crate::{ShardedRma, DECAY_TICK_BATCH};
 use rma_core::{Key, Value};
 use std::sync::atomic::Ordering::Relaxed;
+
+/// Scans asked to visit more than this many elements in one shard
+/// skip the optimistic attempt: the attempt buffers its visits (the
+/// caller's closure must not observe a retried pass), and an
+/// unbounded buffer would trade lock freedom for allocation storms.
+const OPTIMISTIC_SCAN_MAX: usize = 1 << 16;
 
 impl ShardedRma {
     /// Visits up to `count` elements in key order starting from the
@@ -29,13 +38,38 @@ impl ShardedRma {
             if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
                 self.tick_decay(&topo, DECAY_TICK_BATCH);
             }
-            visited += shard.read().scan(from, count - visited, &mut f);
+            let want = count - visited;
+            // Optimistic attempt buffers the visits so the caller's
+            // closure only ever sees the validated pass. The size
+            // gate compares against what the shard can actually
+            // yield, so open-ended scans (`count = usize::MAX`) stay
+            // lock-free as long as each shard is moderate.
+            let buffered = shard
+                .try_optimistic(|rma| {
+                    if want.min(rma.len()) > OPTIMISTIC_SCAN_MAX {
+                        return None;
+                    }
+                    let mut buf = Vec::new();
+                    rma.scan(from, want, |k, v| buf.push((k, v)));
+                    Some(buf)
+                })
+                .flatten();
+            match buffered {
+                Some(buf) => {
+                    visited += buf.len();
+                    for (k, v) in buf {
+                        f(k, v);
+                    }
+                }
+                None => visited += shard.read().scan(from, want, &mut f),
+            }
         }
         visited
     }
 
     /// Sums up to `count` values starting at the first key `>= start`
-    /// — the paper's scan kernel, stitched across shards.
+    /// — the paper's scan kernel, stitched across shards. Lock-free
+    /// on the happy path (scalar result: no buffering needed).
     pub fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
         let topo = self.topo();
         let first = topo.splitters.route(start);
@@ -51,14 +85,18 @@ impl ShardedRma {
             if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
                 self.tick_decay(&topo, DECAY_TICK_BATCH);
             }
-            let (n, s) = shard.read().sum_range(from, count - visited);
+            let want = count - visited;
+            let (n, s) = shard
+                .try_optimistic(|rma| rma.sum_range(from, want))
+                .unwrap_or_else(|| shard.read().sum_range(from, want));
             visited += n;
             sum = sum.wrapping_add(s);
         }
         (visited, sum)
     }
 
-    /// First element with key `>= k` in sorted order.
+    /// First element with key `>= k` in sorted order. Lock-free on
+    /// the happy path.
     pub fn first_ge(&self, k: Key) -> Option<(Key, Value)> {
         let topo = self.topo();
         let first = topo.splitters.route(k);
@@ -69,8 +107,11 @@ impl ShardedRma {
             if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
                 self.tick_decay(&topo, DECAY_TICK_BATCH);
             }
-            if let Some(hit) = shard.read().first_ge(from) {
-                return Some(hit);
+            let hit = shard
+                .try_optimistic(|rma| rma.first_ge(from))
+                .unwrap_or_else(|| shard.read().first_ge(from));
+            if hit.is_some() {
+                return hit;
             }
         }
         None
@@ -78,40 +119,57 @@ impl ShardedRma {
 
     /// Removes the first element with key `>= k`, or the maximum when
     /// every key is smaller (the mixed-workload delete operator).
-    /// Returns `None` only on an empty index.
+    /// Returns `None` only on an empty index. Restarts against a
+    /// fresh topology if maintenance retires a shard mid-walk (the
+    /// walk mutates at most one shard, and only as its final step, so
+    /// restarting before that point is always safe).
     pub fn remove_successor(&self, k: Key) -> Option<(Key, Value)> {
-        let topo = self.topo();
-        let start = topo.splitters.route(k);
-        // Shards right of `start` hold only keys > k, so the first
-        // non-empty one (checked under its write lock) has the
-        // successor.
-        for (i, shard) in topo.shards.iter().enumerate().skip(start) {
-            let mut g = shard.write();
-            let from = if i == start { k } else { Key::MIN };
-            if g.first_ge(from).is_some() {
-                let prev = shard.writes.fetch_add(1, Relaxed);
-                shard.stats.record(from);
-                if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                    self.tick_decay(&topo, DECAY_TICK_BATCH);
+        'restart: loop {
+            let topo = self.topo();
+            let start = topo.splitters.route(k);
+            // Shards right of `start` hold only keys > k, so the first
+            // non-empty one (checked under its write lock) has the
+            // successor.
+            for (i, shard) in topo.shards.iter().enumerate().skip(start) {
+                let mut g = shard.write();
+                if g.is_retired() {
+                    drop(g);
+                    drop(topo);
+                    std::thread::yield_now();
+                    continue 'restart;
                 }
-                return g.remove_successor(from);
-            }
-        }
-        // No successor anywhere: remove the global maximum, which
-        // lives in the rightmost non-empty shard at or left of
-        // `start`.
-        for shard in topo.shards[..=start].iter().rev() {
-            let mut g = shard.write();
-            if !g.is_empty() {
-                let prev = shard.writes.fetch_add(1, Relaxed);
-                shard.stats.record(Key::MAX);
-                if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                    self.tick_decay(&topo, DECAY_TICK_BATCH);
+                let from = if i == start { k } else { Key::MIN };
+                if g.rma().first_ge(from).is_some() {
+                    let prev = shard.writes.fetch_add(1, Relaxed);
+                    shard.stats.record(from);
+                    if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                        self.tick_decay(&topo, DECAY_TICK_BATCH);
+                    }
+                    return g.mutate(|rma| rma.remove_successor(from));
                 }
-                return g.remove_successor(Key::MAX);
             }
+            // No successor anywhere: remove the global maximum, which
+            // lives in the rightmost non-empty shard at or left of
+            // `start`.
+            for shard in topo.shards[..=start].iter().rev() {
+                let mut g = shard.write();
+                if g.is_retired() {
+                    drop(g);
+                    drop(topo);
+                    std::thread::yield_now();
+                    continue 'restart;
+                }
+                if !g.rma().is_empty() {
+                    let prev = shard.writes.fetch_add(1, Relaxed);
+                    shard.stats.record(Key::MAX);
+                    if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                        self.tick_decay(&topo, DECAY_TICK_BATCH);
+                    }
+                    return g.mutate(|rma| rma.remove_successor(Key::MAX));
+                }
+            }
+            return None;
         }
-        None
     }
 
     /// Collects every element in key order — test/debug helper (holds
@@ -176,5 +234,23 @@ mod tests {
         assert_eq!(s.remove_successor(1000), Some((250, 250))); // max fallback
         assert_eq!(s.remove_successor(0), Some((10, 10)));
         assert_eq!(s.remove_successor(0), None);
+    }
+
+    #[test]
+    fn reads_stay_lock_free_across_shards() {
+        let s = populated();
+        let (r0, _) = s.lock_acquisitions();
+        assert_eq!(s.sum_range(i64::MIN, usize::MAX).0, 500);
+        assert_eq!(s.first_ge(123), Some((124, 1)));
+        let mut n = 0;
+        s.scan(0, 100, |_, _| n += 1);
+        assert_eq!(n, 100);
+        // Open-ended scans must stay lock-free too: the optimistic
+        // gate bounds on shard content, not the requested count.
+        let mut all = 0;
+        s.scan(i64::MIN, usize::MAX, |_, _| all += 1);
+        assert_eq!(all, 500);
+        let (r1, _) = s.lock_acquisitions();
+        assert_eq!(r1 - r0, 0, "quiescent range reads must not lock");
     }
 }

@@ -1,19 +1,78 @@
-//! One shard: an independent [`Rma`] behind an `RwLock`, plus cheap
-//! per-shard load counters and the decaying access histogram that
-//! drives splitter re-learning.
+//! One shard: an independent [`Rma`] guarded by the optimistic
+//! seqlock protocol of [`crate::optimistic`], plus cheap per-shard
+//! load counters and the decaying access histogram that drives
+//! splitter re-learning.
+//!
+//! # Synchronisation layout
+//!
+//! The inner RMA lives in an [`UnsafeCell`]; three cooperating
+//! mechanisms decide who may touch it:
+//!
+//! * `lock: RwLock<()>` — mutual exclusion between *lock holders*:
+//!   writers (point mutations, batch application, maintenance drains)
+//!   take it exclusively, fallback readers take it shared. The lock
+//!   guards no data directly (hence `()`): it orders lock-based
+//!   accessors among themselves.
+//! * `seq: AtomicU64` — the seqlock version: even = stable, odd = a
+//!   mutation is in progress. Bumped to odd *before* and to even
+//!   *after* every `&mut Rma` section.
+//! * `opt_pins: AtomicU64` — count of optimistic readers currently
+//!   inside the shard. A writer that has published an odd version
+//!   **waits for this count to drain to zero** before creating
+//!   `&mut Rma`. New optimistic readers observe the odd version and
+//!   bail immediately, so the drain is bounded by the reads already
+//!   in flight.
+//!
+//! The wait-for-pins step is what makes the optimistic path *sound*
+//! rather than merely validated: an optimistic reader never overlaps
+//! a mutation, so it can run the ordinary safe `&Rma` accessors — no
+//! torn reads to tolerate, no use-after-`munmap` when a resize
+//! unwires pages (`rewiring` remaps shrunk tails `PROT_NONE`; a
+//! truly racing reader could fault on them, which no amount of
+//! post-hoc validation can undo). See [`crate::optimistic`] for the
+//! reader side and the memory-ordering argument.
+//!
+//! `retired` marks shards that maintenance has replaced in a newer
+//! topology: writers that reach a retired shard re-route through the
+//! fresh topology; readers may still serve from it (its content is
+//! frozen at retirement, which is linearizable because the reader
+//! obtained its topology pointer before the swap).
 
 use crate::access::AccessStats;
 use crate::splitter::Splitters;
 use crate::ShardConfig;
 use rma_core::{Key, Rma};
-use std::sync::atomic::AtomicU64;
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Relaxed, SeqCst},
+};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Counts `RwLock` acquisitions across an index — the test hook that
+/// verifies the happy-path `get` takes zero locks.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Shared (read) shard-lock acquisitions.
+    pub read_locks: AtomicU64,
+    /// Exclusive (write) shard-lock acquisitions.
+    pub write_locks: AtomicU64,
+}
 
 /// A single key-range shard. Rebalances and resizes inside the inner
-/// RMA happen under this shard's write lock and therefore never block
-/// operations on sibling shards.
+/// RMA happen under this shard's write lock *and* the seqlock writer
+/// protocol, and therefore never block operations on sibling shards.
 pub(crate) struct Shard {
-    pub(crate) rma: RwLock<Rma>,
+    /// Seqlock version: even = stable, odd = mutation in progress.
+    pub(crate) seq: AtomicU64,
+    /// Optimistic readers currently inside the shard.
+    pub(crate) opt_pins: AtomicU64,
+    /// Set (under the write lock) when maintenance replaces this
+    /// shard in a newer topology; writers must re-route.
+    retired: AtomicBool,
+    /// Orders lock-based accessors; guards no data directly.
+    lock: RwLock<()>,
+    cell: UnsafeCell<Rma>,
     /// Point/scan reads routed to this shard since construction.
     pub(crate) reads: AtomicU64,
     /// Inserts/removes/batch elements routed to this shard.
@@ -22,45 +81,185 @@ pub(crate) struct Shard {
     /// key range — the signal [`crate::ShardedRma::relearn_splitters`]
     /// learns from.
     pub(crate) stats: AccessStats,
+    lock_stats: Arc<LockStats>,
 }
+
+// SAFETY: `Rma` is `Send + Sync` (asserted below); the `UnsafeCell`
+// is only ever accessed under the protocol above — `&Rma` by lock
+// readers (excluded from writers by the RwLock) and by optimistic
+// readers (excluded from writers by the pin drain), `&mut Rma` only
+// inside `ShardWriteGuard::mutate` while holding the write lock with
+// the seqlock odd and the pin count at zero.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Rma>();
+};
 
 impl Shard {
     /// A shard over `rma` whose histogram models the key range
     /// `[lo, hi)` with the configured bucket count.
-    pub(crate) fn new(rma: Rma, lo: Option<Key>, hi: Option<Key>, cfg: &ShardConfig) -> Self {
+    pub(crate) fn new(
+        rma: Rma,
+        lo: Option<Key>,
+        hi: Option<Key>,
+        cfg: &ShardConfig,
+        lock_stats: Arc<LockStats>,
+    ) -> Self {
         Shard {
-            rma: RwLock::new(rma),
+            seq: AtomicU64::new(0),
+            opt_pins: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+            lock: RwLock::new(()),
+            cell: UnsafeCell::new(rma),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             stats: AccessStats::new(lo, hi, cfg.hist_buckets),
+            lock_stats,
         }
     }
 
-    pub(crate) fn read(&self) -> RwLockReadGuard<'_, Rma> {
-        self.rma.read().expect("shard lock poisoned")
+    /// Raw pointer to the inner RMA; dereferencing requires the
+    /// protocol documented on [`Shard`].
+    pub(crate) fn rma_ptr(&self) -> *mut Rma {
+        self.cell.get()
     }
 
-    pub(crate) fn write(&self) -> RwLockWriteGuard<'_, Rma> {
-        self.rma.write().expect("shard lock poisoned")
+    /// True once maintenance has replaced this shard in a newer
+    /// topology. Only meaningful while holding the shard lock (the
+    /// flag is set under the write lock).
+    pub(crate) fn is_retired(&self) -> bool {
+        self.retired.load(Relaxed)
+    }
+
+    /// Shared lock-based access to the inner RMA (the fallback read
+    /// path and all helper/measurement accessors).
+    pub(crate) fn read(&self) -> ShardReadGuard<'_> {
+        self.lock_stats.read_locks.fetch_add(1, Relaxed);
+        let guard = self.lock.read().expect("shard lock poisoned");
+        // SAFETY: mutation happens only under the write lock, which
+        // the read guard excludes; concurrent optimistic readers only
+        // create further `&Rma`.
+        let rma = unsafe { &*self.cell.get() };
+        ShardReadGuard { _guard: guard, rma }
+    }
+
+    /// Exclusive lock-based access. Reading through the guard is
+    /// immediate ([`ShardWriteGuard::rma`]); mutating goes through
+    /// [`ShardWriteGuard::mutate`], which runs the seqlock writer
+    /// protocol.
+    pub(crate) fn write(&self) -> ShardWriteGuard<'_> {
+        self.lock_stats.write_locks.fetch_add(1, Relaxed);
+        let guard = self.lock.write().expect("shard lock poisoned");
+        ShardWriteGuard {
+            shard: self,
+            _guard: guard,
+        }
     }
 }
 
-/// The sharding topology: splitters plus one shard per range. Guarded
-/// by an outer `RwLock` in [`crate::ShardedRma`]; point and batch
-/// operations hold it for read (shared), shard maintenance
-/// (split/merge/re-learn) holds it for write (exclusive).
+/// Shared access to a shard's RMA under its read lock.
+pub(crate) struct ShardReadGuard<'a> {
+    _guard: RwLockReadGuard<'a, ()>,
+    rma: &'a Rma,
+}
+
+impl std::ops::Deref for ShardReadGuard<'_> {
+    type Target = Rma;
+    fn deref(&self) -> &Rma {
+        self.rma
+    }
+}
+
+/// Exclusive access to a shard under its write lock.
+pub(crate) struct ShardWriteGuard<'a> {
+    shard: &'a Shard,
+    _guard: RwLockWriteGuard<'a, ()>,
+}
+
+impl ShardWriteGuard<'_> {
+    /// Reads the inner RMA. No seqlock bump: concurrent optimistic
+    /// readers may share the view (maintenance drains use this). The
+    /// borrow is tied to the *guard* (not the shard) so it cannot
+    /// outlive the lock or overlap a [`mutate`](Self::mutate) call.
+    pub(crate) fn rma(&self) -> &Rma {
+        // SAFETY: the write lock excludes every other lock holder;
+        // optimistic readers only create further `&Rma`.
+        unsafe { &*self.shard.rma_ptr() }
+    }
+
+    /// True once maintenance has replaced this shard in a newer
+    /// topology; the caller must re-route instead of operating here.
+    pub(crate) fn is_retired(&self) -> bool {
+        self.shard.is_retired()
+    }
+
+    /// Marks the shard replaced. Callers publish the successor
+    /// topology before releasing this guard, so every re-routed
+    /// writer finds the new shard.
+    pub(crate) fn retire(&self) {
+        self.shard.retired.store(true, Relaxed);
+    }
+
+    /// Runs `f` with exclusive `&mut` access to the inner RMA under
+    /// the seqlock writer protocol: publish an odd version, wait for
+    /// in-flight optimistic readers to drain, mutate, publish even.
+    ///
+    /// The drain terminates because the odd version makes every new
+    /// optimistic reader bail to the lock-based fallback (which
+    /// blocks on the `RwLock` this guard holds), so `opt_pins` only
+    /// decreases.
+    pub(crate) fn mutate<R>(&mut self, f: impl FnOnce(&mut Rma) -> R) -> R {
+        // SeqCst on the version store and the pin load gives the
+        // store→load ordering of the Dekker pattern: either a reader's
+        // pin increment is visible to the loop below (we wait for it),
+        // or our odd version is visible to the reader's validation
+        // (it bails without touching the cell).
+        self.shard.seq.fetch_add(1, SeqCst);
+        let mut spins = 0u32;
+        while self.shard.opt_pins.load(SeqCst) != 0 {
+            spins += 1;
+            if spins > 128 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: write lock held (no lock-based aliases), version odd
+        // and pins drained (no optimistic aliases): access is unique.
+        let out = f(unsafe { &mut *self.shard.rma_ptr() });
+        self.shard.seq.fetch_add(1, SeqCst);
+        out
+    }
+}
+
+/// The sharding topology: splitters plus one shard per range. Shards
+/// are `Arc`-shared so successive topologies (published through
+/// [`crate::optimistic::TopoHandle`]) can reuse the untouched ones.
 pub(crate) struct Topology {
     pub(crate) splitters: Splitters,
-    pub(crate) shards: Vec<Shard>,
+    pub(crate) shards: Vec<Arc<Shard>>,
 }
 
 impl Topology {
     /// Empty shards for the given splitters.
-    pub(crate) fn empty(splitters: Splitters, cfg: &ShardConfig) -> Self {
+    pub(crate) fn empty(
+        splitters: Splitters,
+        cfg: &ShardConfig,
+        lock_stats: &Arc<LockStats>,
+    ) -> Self {
         let shards = (0..splitters.num_shards())
             .map(|i| {
                 let (lo, hi) = splitters.range_of(i);
-                Shard::new(Rma::new(cfg.rma), lo, hi, cfg)
+                Arc::new(Shard::new(
+                    Rma::new(cfg.rma),
+                    lo,
+                    hi,
+                    cfg,
+                    Arc::clone(lock_stats),
+                ))
             })
             .collect();
         Topology { splitters, shards }

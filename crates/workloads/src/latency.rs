@@ -1,0 +1,241 @@
+//! The latency-recording mixed driver: a deterministic read/write
+//! operation mix whose per-operation service times are captured in
+//! nanoseconds, split by operation class.
+//!
+//! The throughput-oriented generators in this crate answer "how many
+//! ops/s"; tail-latency experiments (does maintenance stall
+//! readers?) need the *distribution* of individual op times instead.
+//! [`ReadWriteMix`] layers a seeded read/write coin over any key
+//! source (uniform, [`crate::ShiftingHotspot`], …), and
+//! [`drive_recorded`] executes the mix against caller-supplied
+//! closures, timestamping every operation into a [`LatencyLog`].
+//! [`summarize`] reduces a sample set to the p50/p99/p999 tail
+//! figures the benchmark drivers report.
+//!
+//! Determinism: the op sequence (which ops, which keys) is a pure
+//! function of the seeds; only the recorded durations vary run to
+//! run.
+
+use crate::{Key, SplitMix64, Value};
+use std::time::Instant;
+
+/// One operation of the recorded mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixOp {
+    /// Point lookup of the key.
+    Read(Key),
+    /// Insert of the pair (the value is the op's 1-based rank).
+    Write(Key, Value),
+}
+
+/// Seeded read/write mix over an arbitrary key source.
+pub struct ReadWriteMix<K> {
+    keys: K,
+    read_fraction: f64,
+    coin: SplitMix64,
+    emitted: u64,
+}
+
+impl<K: FnMut() -> Key> ReadWriteMix<K> {
+    /// A mix drawing keys from `keys`, with each op independently a
+    /// read with probability `read_fraction` (the coin is seeded
+    /// separately from the key source so the two streams do not
+    /// correlate).
+    pub fn new(keys: K, read_fraction: f64, coin_seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction is a probability"
+        );
+        ReadWriteMix {
+            keys,
+            read_fraction,
+            coin: SplitMix64::new(coin_seed),
+            emitted: 0,
+        }
+    }
+
+    /// Draws the next operation.
+    #[inline]
+    pub fn next_op(&mut self) -> MixOp {
+        self.emitted += 1;
+        let k = (self.keys)();
+        if self.coin.next_f64() < self.read_fraction {
+            MixOp::Read(k)
+        } else {
+            MixOp::Write(k, self.emitted as i64)
+        }
+    }
+
+    /// Operations drawn so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// Per-class latency samples in nanoseconds.
+#[derive(Debug, Default)]
+pub struct LatencyLog {
+    /// One sample per executed read.
+    pub reads: Vec<u64>,
+    /// One sample per executed write.
+    pub writes: Vec<u64>,
+}
+
+impl LatencyLog {
+    /// An empty log with capacity for `ops` samples.
+    pub fn with_capacity(ops: usize) -> Self {
+        LatencyLog {
+            reads: Vec::with_capacity(ops),
+            writes: Vec::with_capacity(ops / 4 + 1),
+        }
+    }
+}
+
+/// Tail summary of one sample class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median, in nanoseconds.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Worst sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub samples: usize,
+}
+
+/// Sorts `samples` in place and reduces them to the tail summary.
+/// Panics on an empty slice (an experiment that measured nothing is
+/// a bug, not a datum).
+pub fn summarize(samples: &mut [u64]) -> LatencySummary {
+    assert!(!samples.is_empty(), "no latency samples recorded");
+    samples.sort_unstable();
+    let q = |frac: f64| {
+        let idx = ((samples.len() - 1) as f64 * frac).round() as usize;
+        samples[idx]
+    };
+    LatencySummary {
+        p50: q(0.50),
+        p99: q(0.99),
+        p999: q(0.999),
+        max: *samples.last().expect("non-empty"),
+        mean: samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64,
+        samples: samples.len(),
+    }
+}
+
+/// Executes `ops` operations of the mix against the given closures,
+/// recording each op's wall-clock duration. `extra_before` runs
+/// before each op (outside the timed window) and returns nanoseconds
+/// of externally-imposed delay to *charge to* the next recorded
+/// sample — the hook the inline-maintenance benchmark mode uses to
+/// attribute a synchronous `maintain()` pause to the request that
+/// would have waited behind it. Pass `|_| 0` when unused.
+pub fn drive_recorded<K, R, W>(
+    ops: u64,
+    mix: &mut ReadWriteMix<K>,
+    mut read: R,
+    mut write: W,
+    mut extra_before: impl FnMut(u64) -> u64,
+) -> LatencyLog
+where
+    K: FnMut() -> Key,
+    R: FnMut(Key),
+    W: FnMut(Key, Value),
+{
+    let mut log = LatencyLog::with_capacity(ops as usize);
+    for i in 0..ops {
+        let charge = extra_before(i);
+        match mix.next_op() {
+            MixOp::Read(k) => {
+                let t = Instant::now();
+                read(k);
+                log.reads.push(t.elapsed().as_nanos() as u64 + charge);
+            }
+            MixOp::Write(k, v) => {
+                let t = Instant::now();
+                write(k, v);
+                log.writes.push(t.elapsed().as_nanos() as u64 + charge);
+            }
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_respects_fraction() {
+        let mk = || {
+            let mut rng = SplitMix64::new(7);
+            ReadWriteMix::new(move || (rng.next_u64() >> 2) as i64, 0.9, 11)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut reads = 0usize;
+        for _ in 0..5000 {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert_eq!(oa, ob);
+            if matches!(oa, MixOp::Read(_)) {
+                reads += 1;
+            }
+        }
+        let frac = reads as f64 / 5000.0;
+        assert!((0.85..=0.95).contains(&frac), "read fraction {frac}");
+        assert_eq!(a.emitted(), 5000);
+    }
+
+    #[test]
+    fn writes_carry_rank() {
+        let mut mix = ReadWriteMix::new(|| 1, 0.0, 3);
+        assert_eq!(mix.next_op(), MixOp::Write(1, 1));
+        assert_eq!(mix.next_op(), MixOp::Write(1, 2));
+    }
+
+    #[test]
+    fn drive_records_every_op_once() {
+        let mut mix = ReadWriteMix::new(|| 42, 0.5, 9);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        let log = drive_recorded(1000, &mut mix, |_| reads += 1, |_, _| writes += 1, |_| 0);
+        assert_eq!(log.reads.len() as u64, reads);
+        assert_eq!(log.writes.len() as u64, writes);
+        assert_eq!(reads + writes, 1000);
+    }
+
+    #[test]
+    fn extra_before_charges_the_next_sample() {
+        let mut mix = ReadWriteMix::new(|| 1, 1.0, 5);
+        let log = drive_recorded(
+            10,
+            &mut mix,
+            |_| {},
+            |_, _| {},
+            |i| if i == 3 { 1_000_000_000 } else { 0 },
+        );
+        assert_eq!(log.reads.len(), 10);
+        assert_eq!(
+            log.reads.iter().filter(|&&s| s >= 1_000_000_000).count(),
+            1,
+            "exactly one sample carries the injected pause"
+        );
+    }
+
+    #[test]
+    fn summary_reports_percentiles() {
+        let mut samples: Vec<u64> = (1..=1000).collect();
+        let s = summarize(&mut samples);
+        // Index = round((len-1) × q): 499.5 rounds up.
+        assert_eq!(s.p50, 501);
+        assert_eq!(s.p99, 990);
+        assert_eq!(s.p999, 999);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.samples, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod batches;
 pub mod hotspot;
+pub mod latency;
 pub mod mixed;
 pub mod scans;
 pub mod xorshift;
@@ -24,6 +25,7 @@ pub mod zipf;
 
 pub use batches::{partition_sorted, BatchStream, PartitionedBatch};
 pub use hotspot::{HotspotConfig, HotspotMotion, ShiftingHotspot};
+pub use latency::{drive_recorded, summarize, LatencyLog, LatencySummary, MixOp, ReadWriteMix};
 pub use mixed::{MixedWorkload, Op};
 pub use scans::ScanRanges;
 pub use xorshift::SplitMix64;

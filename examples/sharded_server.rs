@@ -2,16 +2,18 @@
 //!
 //! Simulates the deployment shape the sharded front-end is for: OLTP
 //! writers stream inserts and successor-deletes, analytic readers run
-//! range sums concurrently, an ingest thread applies partitioned
-//! batches, and a maintenance thread periodically splits hot shards /
-//! merges cold ones — all against one shared [`ShardedRma`] with no
-//! `&mut` anywhere.
+//! range sums concurrently (lock-free on the happy path), an ingest
+//! thread applies partitioned batches, and the built-in background
+//! maintainer re-learns splitters / splits hot shards / merges cold
+//! ones — all against one shared [`ShardedRma`] with no `&mut`
+//! anywhere.
 //!
 //! Run with: `cargo run --release --example sharded_server`
 
-use rma_repro::shard::{ShardConfig, ShardedRma};
+use rma_repro::shard::{MaintainerConfig, ShardConfig, ShardedRma};
 use rma_repro::workloads::{BatchStream, KeyStream, Pattern, SplitMix64};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Instant;
 
 const PRELOAD: usize = 200_000;
@@ -27,12 +29,17 @@ fn main() {
     // batch quantiles so the shards start balanced.
     let mut base = KeyStream::new(Pattern::Uniform, 7).take_pairs(PRELOAD);
     base.sort_unstable();
-    let index = ShardedRma::load_bulk(ShardConfig::with_shards(16), &base);
+    let index = Arc::new(ShardedRma::load_bulk(ShardConfig::with_shards(16), &base));
     println!(
         "server up: {} elements across {} shards",
         index.len(),
         index.num_shards()
     );
+
+    // Background maintenance: watches the access imbalance and the op
+    // rate, re-learns splitters and splits/merges shards on its own
+    // thread. Readers never block behind it (optimistic read path).
+    let maintainer = index.start_maintainer(MaintainerConfig::default());
 
     let stop = AtomicBool::new(false);
     let scanned = AtomicU64::new(0);
@@ -90,27 +97,11 @@ fn main() {
             });
         }
 
-        // Maintenance: split hot shards / merge cold neighbours while
-        // traffic flows.
-        {
-            let (index, stop) = (&index, &stop);
-            sc.spawn(move || {
-                let mut reports = Vec::new();
-                while !stop.load(Relaxed) {
-                    std::thread::sleep(std::time::Duration::from_millis(50));
-                    reports.push(index.rebalance_shards());
-                }
-                let (splits, merges) = reports
-                    .iter()
-                    .fold((0, 0), |(s, m), r| (s + r.splits, m + r.merges));
-                println!("maintenance: {splits} splits, {merges} merges");
-            });
-        }
-
         // Writers and ingest finish on their own; then release the
-        // readers and the maintenance loop.
-        // (Scoped threads join automatically at the end of the scope,
-        // but readers poll `stop`, so flip it once writers are done.)
+        // readers. (Scoped threads join automatically at the end of
+        // the scope, but readers poll `stop`, so flip it once writers
+        // are done. The background maintainer lives outside the scope
+        // and is stopped after it.)
         let index = &index;
         let stop = &stop;
         sc.spawn(move || {
@@ -131,6 +122,7 @@ fn main() {
     });
 
     let secs = started.elapsed().as_secs_f64();
+    let maint = maintainer.stop();
     index.check_invariants();
     println!(
         "done in {secs:.2}s: {} elements, {} shards, {} elements scanned",
@@ -138,6 +130,15 @@ fn main() {
         index.num_shards(),
         scanned.load(Relaxed)
     );
+    println!(
+        "maintenance (background): {} runs, {} relearns, {} splits, {} merges",
+        maint.runs(),
+        maint.relearns(),
+        maint.splits(),
+        maint.merges()
+    );
+    let (read_locks, write_locks) = index.lock_acquisitions();
+    println!("lock acquisitions: {read_locks} read, {write_locks} write (reads are optimistic)");
     println!("\nper-shard load (len / reads / writes):");
     for st in index.shard_stats() {
         println!(

@@ -8,14 +8,18 @@
 //!   a static index, memory-rewired rebalances and adaptive
 //!   rebalancing;
 //! * [`shard`] — the **sharded concurrent front-end**: key-range
-//!   sharding over independent `RwLock<Rma>` shards with branch-free
-//!   routing, stitched scans, parallel batch ingest, and
+//!   sharding with branch-free routing, an **optimistic lock-free
+//!   read path** (seqlock-versioned shards behind an epoch-published
+//!   topology: point lookups and range sums take zero locks on the
+//!   happy path), stitched scans, parallel batch ingest, and
 //!   **access-histogram-driven maintenance** — every shard carries a
 //!   lock-free decaying histogram of where operations land, hot
-//!   shards split at the equal-access point of their CDF, and
+//!   shards split at the equal-access point of their CDF,
 //!   `ShardedRma::maintain` re-learns the whole splitter set from the
 //!   observed workload (Detector-style, §IV) with a stability guard
-//!   that keeps uniform workloads churn-free;
+//!   that keeps uniform workloads churn-free, and
+//!   `ShardedRma::start_maintainer` runs all of it from a background
+//!   thread that readers never block behind;
 //! * [`pma`] — the Traditional PMA baseline and the APMA
 //!   re-implementation;
 //! * [`abtree`] — the (a,b)-tree comparator and the static dense
