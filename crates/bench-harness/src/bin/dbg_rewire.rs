@@ -7,6 +7,7 @@ fn main() {
         page_bytes: 64 << 10,
         reserve_bytes: 1 << 30,
         force_heap: false,
+        huge_pages: true,
     };
     let mut v = RewiredVec::<i64>::new(opts);
     let epp = v.elems_per_page();

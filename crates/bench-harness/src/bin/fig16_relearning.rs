@@ -3,14 +3,18 @@
 //!
 //! Drives a [`ShardedRma`] with the seeded shifting-hotspot workload
 //! (a hammered band covering 1/64th of the key domain that jumps to a
-//! fresh position every phase) and compares two maintenance modes
-//! over the same operation stream:
+//! fresh position every phase) and compares maintenance modes over
+//! the same operation stream:
 //!
 //! * `median_baseline` — PR 1 behaviour: length-driven split/merge at
 //!   the key median, no re-learning ([`BalancePolicy::ByLen`]);
 //! * `relearn` — access-driven maintenance: split points from the
 //!   histogram CDF plus multi-way splitter re-learning
-//!   ([`ShardedRma::relearn_splitters`]).
+//!   ([`ShardedRma::relearn_splitters`], incremental plan engine);
+//! * `nudge` (drift phase set only) — [`RelearnStrategy::NudgeOnly`]:
+//!   boundaries chase the band via single-pair migrations, never a
+//!   full rebuild — the cheap tracking mode a *drifting* hotspot
+//!   should reward.
 //!
 //! Each phase runs half its operations, calls
 //! [`maintain`](ShardedRma::maintain), resets the (measurement)
@@ -25,7 +29,7 @@
 
 use bench_harness::Cli;
 use rma_core::RmaConfig;
-use rma_shard::{BalancePolicy, ShardConfig, ShardedRma};
+use rma_shard::{BalancePolicy, RelearnStrategy, ShardConfig, ShardedRma};
 use workloads::{HotspotConfig, HotspotMotion, ShiftingHotspot, SplitMix64};
 
 const SHARDS: usize = 8;
@@ -39,25 +43,42 @@ struct PhaseRow {
     relearned: bool,
     splits: usize,
     merges: usize,
+    nudges: u64,
     shards: usize,
 }
 
-fn mode_config(cli: &Cli, relearn: bool) -> ShardConfig {
+/// Maintenance mode of one run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `median_baseline`: ByLen, no re-learning.
+    Baseline,
+    /// `relearn`: ByAccess + incremental multi-way re-learning.
+    Relearn,
+    /// `nudge`: ByAccess + boundary nudges only.
+    Nudge,
+}
+
+fn mode_config(cli: &Cli, mode: Mode) -> ShardConfig {
     ShardConfig {
         num_shards: SHARDS,
         rma: RmaConfig::with_segment_size(cli.seg),
         min_split_len: 256,
-        relearn,
-        balance: if relearn {
-            BalancePolicy::ByAccess
-        } else {
+        relearn: mode != Mode::Baseline,
+        balance: if mode == Mode::Baseline {
             BalancePolicy::ByLen
+        } else {
+            BalancePolicy::ByAccess
+        },
+        relearn_strategy: if mode == Mode::Nudge {
+            RelearnStrategy::NudgeOnly
+        } else {
+            RelearnStrategy::Incremental
         },
         ..Default::default()
     }
 }
 
-fn run_mode(cli: &Cli, relearn: bool, motion: HotspotMotion) -> Vec<PhaseRow> {
+fn run_mode(cli: &Cli, mode: Mode, motion: HotspotMotion) -> Vec<PhaseRow> {
     let phase_ops = cli.scale as u64;
     let hotspot_cfg = HotspotConfig {
         phase_len: phase_ops,
@@ -74,7 +95,7 @@ fn run_mode(cli: &Cli, relearn: bool, motion: HotspotMotion) -> Vec<PhaseRow> {
             .collect()
     };
     base.sort_unstable();
-    let index = ShardedRma::load_bulk(mode_config(cli, relearn), &base);
+    let index = ShardedRma::load_bulk(mode_config(cli, mode), &base);
 
     let mut rows = Vec::new();
     let half = (phase_ops / 2).max(1);
@@ -95,6 +116,7 @@ fn run_mode(cli: &Cli, relearn: bool, motion: HotspotMotion) -> Vec<PhaseRow> {
         };
         run_half(half);
         let imbalance_before = index.access_imbalance();
+        let nudges_before = index.maintenance_stats().nudges;
         let (rl, mt) = index.maintain();
         index.reset_access_stats();
         run_half(phase_ops - half);
@@ -105,6 +127,7 @@ fn run_mode(cli: &Cli, relearn: bool, motion: HotspotMotion) -> Vec<PhaseRow> {
             relearned: rl.relearned,
             splits: mt.splits,
             merges: mt.merges,
+            nudges: index.maintenance_stats().nudges - nudges_before,
             shards: index.num_shards(),
         });
         // Drain the remainder of the phase's ops so both modes stay
@@ -142,21 +165,29 @@ fn write_json(path: &str, modes: &[(&str, &[PhaseRow])], cli: &Cli) -> std::io::
             json.push_str(&format!(
                 "    {{\"mode\": \"{mode}\", \"phase\": {}, \"imbalance_before\": {:.4}, \
                  \"imbalance_after\": {:.4}, \"relearned\": {}, \"splits\": {}, \
-                 \"merges\": {}, \"shards\": {}}}{}\n",
+                 \"merges\": {}, \"nudges\": {}, \"shards\": {}}}{}\n",
                 r.phase,
                 r.imbalance_before,
                 r.imbalance_after,
                 r.relearned,
                 r.splits,
                 r.merges,
+                r.nudges,
                 r.shards,
                 if emitted < total_rows { "," } else { "" }
             ));
         }
     }
     json.push_str("  ],\n");
-    let base = mean_after(modes[0].1);
-    let relearn = mean_after(modes[1].1);
+    let mean_of = |label: &str| {
+        modes
+            .iter()
+            .find(|(m, _)| *m == label)
+            .map(|(_, rows)| mean_after(rows))
+            .expect("mode present")
+    };
+    let base = mean_of("median_baseline");
+    let relearn = mean_of("relearn");
     json.push_str(&format!(
         "  \"mean_imbalance_baseline\": {base:.4},\n  \"mean_imbalance_relearn\": {relearn:.4},\n"
     ));
@@ -164,14 +195,26 @@ fn write_json(path: &str, modes: &[(&str, &[PhaseRow])], cli: &Cli) -> std::io::
         "  \"imbalance_ratio\": {:.4},\n",
         relearn / base.max(1e-12)
     ));
-    let base_drift = mean_after(modes[2].1);
-    let relearn_drift = mean_after(modes[3].1);
+    let base_drift = mean_of("median_baseline_drift");
+    let relearn_drift = mean_of("relearn_drift");
+    let nudge_drift = mean_of("nudge_drift");
     json.push_str(&format!(
         "  \"mean_imbalance_baseline_drift\": {base_drift:.4},\n  \"mean_imbalance_relearn_drift\": {relearn_drift:.4},\n"
     ));
     json.push_str(&format!(
-        "  \"imbalance_ratio_drift\": {:.4}\n}}\n",
+        "  \"mean_imbalance_nudge_drift\": {nudge_drift:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"imbalance_ratio_drift\": {:.4},\n",
         relearn_drift / base_drift.max(1e-12)
+    ));
+    json.push_str(&format!(
+        "  \"imbalance_ratio_nudge_drift\": {:.4},\n",
+        nudge_drift / base_drift.max(1e-12)
+    ));
+    json.push_str(&format!(
+        "  \"nudge_vs_relearn_drift\": {:.4}\n}}\n",
+        nudge_drift / relearn_drift.max(1e-12)
     ));
     std::fs::write(path, json)
 }
@@ -190,10 +233,11 @@ fn main() {
         "# Fig. 16 — splitter re-learning under a shifting hotspot: N={} preloaded, {} ops/phase, {PHASES} phases, {SHARDS} shards, B={}",
         cli.scale, cli.scale, cli.seg
     );
-    let baseline = run_mode(&cli, false, HotspotMotion::Jump);
-    let relearn = run_mode(&cli, true, HotspotMotion::Jump);
-    let baseline_drift = run_mode(&cli, false, drift_step());
-    let relearn_drift = run_mode(&cli, true, drift_step());
+    let baseline = run_mode(&cli, Mode::Baseline, HotspotMotion::Jump);
+    let relearn = run_mode(&cli, Mode::Relearn, HotspotMotion::Jump);
+    let baseline_drift = run_mode(&cli, Mode::Baseline, drift_step());
+    let relearn_drift = run_mode(&cli, Mode::Relearn, drift_step());
+    let nudge_drift = run_mode(&cli, Mode::Nudge, drift_step());
 
     println!(
         "{:<7} {:>14} {:>14} {:>14} {:>14} {:>10}",
@@ -220,10 +264,15 @@ fn main() {
         "# mean post-maintenance imbalance (jump): baseline {mb:.2}, relearn {mr:.2}, ratio {:.3}",
         mr / mb.max(1e-12)
     );
-    let (db, dr) = (mean_after(&baseline_drift), mean_after(&relearn_drift));
+    let (db, dr, dn) = (
+        mean_after(&baseline_drift),
+        mean_after(&relearn_drift),
+        mean_after(&nudge_drift),
+    );
     println!(
-        "# mean post-maintenance imbalance (drift): baseline {db:.2}, relearn {dr:.2}, ratio {:.3}",
-        dr / db.max(1e-12)
+        "# mean post-maintenance imbalance (drift): baseline {db:.2}, relearn {dr:.2} (ratio {:.3}), nudge {dn:.2} (ratio {:.3})",
+        dr / db.max(1e-12),
+        dn / db.max(1e-12)
     );
 
     let path = "BENCH_splitter_relearning.json";
@@ -234,6 +283,7 @@ fn main() {
             ("relearn", &relearn),
             ("median_baseline_drift", &baseline_drift),
             ("relearn_drift", &relearn_drift),
+            ("nudge_drift", &nudge_drift),
         ],
         &cli,
     ) {

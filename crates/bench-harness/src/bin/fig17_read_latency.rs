@@ -137,6 +137,7 @@ fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
             poll_interval: Duration::from_millis(5),
             imbalance_trigger: 1.25,
             min_ops_between: 2048,
+            ..Default::default()
         })
     });
 

@@ -43,7 +43,7 @@ unsafe impl Sync for MmapRegion {}
 /// Returns true if `memfd_create` + `MAP_FIXED` rewiring works here.
 pub fn probe() -> bool {
     let kernel_page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
-    match MmapRegion::new(kernel_page, kernel_page * 4) {
+    match MmapRegion::new(kernel_page, kernel_page * 4, true) {
         Ok(mut r) => {
             // Exercise an actual wire + swap round trip.
             if r.wire(0, 2).is_err() {
@@ -66,7 +66,7 @@ impl MmapRegion {
     /// Reserves `reserve_bytes` of virtual space with logical pages of
     /// `page_bytes` and creates the backing `memfd`. No physical
     /// memory is committed yet.
-    pub fn new(page_bytes: usize, reserve_bytes: usize) -> io::Result<Self> {
+    pub fn new(page_bytes: usize, reserve_bytes: usize, huge_pages: bool) -> io::Result<Self> {
         let kernel_page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
         assert!(page_bytes >= kernel_page && page_bytes.is_multiple_of(kernel_page));
         assert!(reserve_bytes.is_multiple_of(page_bytes) && reserve_bytes > 0);
@@ -99,9 +99,12 @@ impl MmapRegion {
             return Err(err);
         }
         // Huge pages are a best-effort hint, as in the paper's 2 MB
-        // huge-page setup; ignore failure.
-        unsafe {
-            libc::madvise(base, reserve_bytes, libc::MADV_HUGEPAGE);
+        // huge-page setup; ignore failure. Opt-out exists because
+        // `defrag=madvise` kernels compact synchronously on fault.
+        if huge_pages {
+            unsafe {
+                libc::madvise(base, reserve_bytes, libc::MADV_HUGEPAGE);
+            }
         }
 
         Ok(MmapRegion {
@@ -326,7 +329,7 @@ mod tests {
 
     fn region(pages: usize) -> Option<MmapRegion> {
         let kp = unsafe { libc::sysconf(libc::_SC_PAGESIZE) } as usize;
-        MmapRegion::new(kp, kp * pages).ok()
+        MmapRegion::new(kp, kp * pages, true).ok()
     }
 
     #[test]

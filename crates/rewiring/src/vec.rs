@@ -56,6 +56,14 @@ pub struct RewireOptions {
     pub reserve_bytes: usize,
     /// Skip the mmap backend even if available (the `-RWR` ablation).
     pub force_heap: bool,
+    /// Hint the kernel to back the reservation with transparent huge
+    /// pages (`MADV_HUGEPAGE`), as in the paper's 2 MB huge-page
+    /// setup. Under `defrag=madvise` kernels this opts page faults
+    /// into *synchronous* compaction, which can stall a fault for
+    /// tens of milliseconds — latency-sensitive deployments that
+    /// churn mappings (e.g. incremental shard maintenance) turn it
+    /// off.
+    pub huge_pages: bool,
 }
 
 impl Default for RewireOptions {
@@ -64,6 +72,7 @@ impl Default for RewireOptions {
             page_bytes: 2 << 20,
             reserve_bytes: 1 << 35,
             force_heap: false,
+            huge_pages: true,
         }
     }
 }
@@ -161,7 +170,7 @@ impl<T: Scalar> RewiredVec<T> {
     #[cfg(target_os = "linux")]
     fn pick_backend(opts: &RewireOptions, reserve: usize) -> Backend {
         if !opts.force_heap {
-            if let Ok(r) = MmapRegion::new(opts.page_bytes, reserve) {
+            if let Ok(r) = MmapRegion::new(opts.page_bytes, reserve, opts.huge_pages) {
                 return Backend::Mmap(r);
             }
         }
@@ -383,6 +392,7 @@ mod tests {
             page_bytes: 4096,
             reserve_bytes: 4096 * 64,
             force_heap,
+            huge_pages: true,
         }
     }
 

@@ -38,6 +38,12 @@ pub struct RmaConfig {
     /// Total virtual reservation per storage column, in bytes. Bounds
     /// the maximum capacity; the paper reserves 2^37 bytes.
     pub reserve_bytes: usize,
+    /// Hint the kernel to back reservations with transparent huge
+    /// pages (the paper's 2 MB huge-page setup). Leave on for
+    /// throughput; turn off in latency-sensitive deployments that
+    /// churn mappings, where `defrag=madvise` kernels stall page
+    /// faults on synchronous compaction.
+    pub huge_pages: bool,
 }
 
 impl Default for RmaConfig {
@@ -51,6 +57,7 @@ impl Default for RmaConfig {
             },
             adaptive: Some(DetectorConfig::default()),
             reserve_bytes: 1 << 33,
+            huge_pages: true,
         }
     }
 }

@@ -40,6 +40,7 @@ impl Storage {
             page_bytes,
             reserve_bytes: cfg.reserve_bytes,
             force_heap,
+            huge_pages: cfg.huge_pages,
         };
         let mut keys = RewiredVec::new(opts);
         let mut vals = RewiredVec::new(opts);

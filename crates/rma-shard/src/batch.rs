@@ -92,10 +92,16 @@ impl ShardedRma {
         let (mut deleted, mut ins_left, mut del_left) = self.apply_batch_round(inserts, deletes);
         while !ins_left.is_empty() || !del_left.is_empty() {
             // A concurrent maintenance publication retired some target
-            // shards mid-round; re-route the leftovers. Per-shard
-            // chunks were appended whole, so a stable sort restores
-            // global key order without reordering duplicates (equal
-            // keys never span shards).
+            // shards mid-round; re-route the leftovers. The plan
+            // engine publishes one topology *per step*, so under an
+            // active drain this round trips far more often than under
+            // the old monolithic passes — each round re-partitions
+            // only the bounced remainder, and `batch_reroutes` counts
+            // how often it happens. Per-shard chunks were appended
+            // whole, so a stable sort restores global key order
+            // without reordering duplicates (equal keys never span
+            // shards).
+            self.maint_counters().batch_reroutes.fetch_add(1, Relaxed);
             std::thread::yield_now();
             ins_left.sort_by_key(|p| p.0);
             let (d, ins_next, del_next) = self.apply_batch_round(&ins_left, &del_left);

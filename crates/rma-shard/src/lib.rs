@@ -21,14 +21,19 @@
 //! * every shard carries an [`AccessStats`] histogram — lock-free
 //!   `AtomicU64` bucket counters bumped on every operation and
 //!   periodically halved so stale hotspots fade;
-//! * [`rebalance_shards`](ShardedRma::rebalance_shards) splits hot
-//!   shards at the equal-access point of their histogram CDF and
-//!   merges cold neighbours; [`relearn_splitters`](ShardedRma::relearn_splitters)
-//!   re-learns the whole splitter set multi-way from the global
-//!   histogram; [`maintain`](ShardedRma::maintain) combines both, and
-//!   [`start_maintainer`](ShardedRma::start_maintainer) runs it from a
-//!   dedicated background thread so callers never pay maintenance
-//!   inline.
+//! * maintenance is an **incremental plan engine**
+//!   ([`maintenance`](crate::maintenance) module):
+//!   [`rebalance_shards`](ShardedRma::rebalance_shards) and
+//!   [`relearn_splitters`](ShardedRma::relearn_splitters) *plan*
+//!   bounded [`MaintenanceStep`]s — splits, merges, boundary
+//!   *nudges* for drifting hotspots, and capped range rebuilds —
+//!   and an executor applies one step at a time, each publishing its
+//!   own copy-on-write topology, so even a full multi-way re-learn
+//!   never stalls a writer for more than one step;
+//!   [`maintain`](ShardedRma::maintain) combines both, and
+//!   [`start_maintainer`](ShardedRma::start_maintainer) drains plans
+//!   from a dedicated background thread on a per-tick step budget
+//!   with inter-step sleeps.
 //!
 //! ## The optimistic read path
 //!
@@ -51,13 +56,20 @@
 //!   reader never spins on a writer; after a few failed attempts it
 //!   falls back to the shard's `RwLock`.
 //!
-//! The result: maintenance — even a full multi-way splitter re-learn
-//! rebuilding every shard — no longer stalls the read fleet. Readers
-//! observing a retired topology serve the pre-swap snapshot, which is
+//! The result: maintenance no longer stalls the read fleet — and,
+//! since the plan engine, no longer stalls the *write* fleet either:
+//! a full re-learn proceeds shard-by-shard, and a writer only ever
+//! waits out the one step currently restructuring its shard (the
+//! `fig18_write_stall` benchmark pins the worst single insert under
+//! background re-learning to ≤ 10 ms at 2^20 scale, vs hundreds of
+//! milliseconds for the monolithic baseline). Readers observing a
+//! retired topology serve the pre-swap snapshot, which is
 //! linearizable at the instant they acquired the topology pointer.
 //! Writers that reach a retired shard re-route through the fresh
 //! topology (a bounded retry). [`ShardedRma::lock_acquisitions`] is
-//! the test hook proving the happy path stays lock-free.
+//! the test hook proving the happy path stays lock-free;
+//! [`ShardedRma::maintenance_stats`] exposes the plan engine's
+//! steps, migrations and worst-step wall time.
 //!
 //! Concurrency contract: each operation is atomic within the shard(s)
 //! it touches; multi-shard reads (scans) visit shards left to right,
@@ -99,7 +111,7 @@
 pub mod access;
 mod batch;
 pub mod maintainer;
-mod maintenance;
+pub mod maintenance;
 mod optimistic;
 mod scan;
 mod shard;
@@ -107,13 +119,16 @@ pub mod splitter;
 
 pub use access::AccessStats;
 pub use maintainer::{Maintainer, MaintainerConfig, MaintainerStats};
-pub use maintenance::{MaintenanceReport, RelearnReport, ShardStats};
+pub use maintenance::{
+    DrainReport, MaintenancePlan, MaintenanceReport, MaintenanceStep, RelearnReport, ShardStats,
+    StepReport,
+};
 pub use shard::LockStats;
 pub use splitter::Splitters;
 
 use optimistic::{TopoGuard, TopoHandle};
 use rma_core::{Key, RmaConfig, Value};
-use shard::Topology;
+use shard::{ShardWriteGuard, Topology};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -125,6 +140,30 @@ pub(crate) const DECAY_TICK_BATCH: u64 = 64;
 /// during a lull (or a burst) cannot disable decay or thrash it.
 const ADAPTIVE_DECAY_MIN: u64 = 256;
 const ADAPTIVE_DECAY_MAX: u64 = 1 << 26;
+
+/// How [`maintain`](ShardedRma::maintain) restructures the topology
+/// when splitter re-learning engages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelearnStrategy {
+    /// Re-learning is decomposed into a [`MaintenancePlan`] of bounded
+    /// steps — boundary nudges when one move recovers most of the
+    /// predicted gain, shard-by-shard range rebuilds otherwise. Each
+    /// step publishes its own copy-on-write topology, so a writer only
+    /// ever waits out the one shard currently being restructured.
+    #[default]
+    Incremental,
+    /// The PR-3 behaviour, kept as the explicit comparison baseline:
+    /// one pass drains *every* shard under its write lock and
+    /// publishes the rebuilt topology in a single swap — writers can
+    /// stall for the whole rebuild (~100 ms at 2^20 scale).
+    Monolithic,
+    /// Only boundary nudges, never full range rebuilds: every adjacent
+    /// shard pair whose access mass is lopsided gets its boundary
+    /// moved to the pair's equal-access point. The cheap tracking mode
+    /// for drifting hotspots (and the `nudge` column of
+    /// `fig16_relearning`).
+    NudgeOnly,
+}
 
 /// How shard maintenance weighs shards when deciding splits and
 /// merges.
@@ -191,6 +230,33 @@ pub struct ShardConfig {
     /// fraction (the stability guard against churn for marginal
     /// gains).
     pub relearn_min_gain: f64,
+    /// How re-learning restructures the topology: incrementally
+    /// (default), in one monolithic pass (the PR-3 baseline), or by
+    /// boundary nudges only.
+    pub relearn_strategy: RelearnStrategy,
+    /// Under [`RelearnStrategy::Incremental`], a single boundary nudge
+    /// is preferred over a full shard-by-shard rebuild when it
+    /// recovers at least this fraction of the rebuild's predicted
+    /// imbalance gain — the cheap path for drifting hotspots, where
+    /// one splitter chasing the band fixes most of the skew.
+    pub nudge_gain_fraction: f64,
+    /// Upper bound on the elements a single incremental maintenance
+    /// step may rebuild — the knob that bounds how long any one step
+    /// holds its shard locks (and therefore the worst-case writer
+    /// stall). Target ranges whose residents exceed it are aligned
+    /// with bounded split/merge steps instead of one consolidating
+    /// rebuild, leaving extra splitters inside element-heavy cold
+    /// ranges rather than stalling writers.
+    pub max_step_elems: usize,
+    /// Optional shard-length backstop for latency-SLO deployments:
+    /// when set, maintenance splits any shard that grows past this
+    /// many elements *regardless of access balance*, because a shard
+    /// bigger than one step can rebuild would break the bounded-stall
+    /// guarantee the moment it needs restructuring (pair it with a
+    /// comparable `max_step_elems`). `None` (the default) leaves
+    /// shard sizes to the access-driven policy — throughput-oriented
+    /// deployments with few large shards stay churn-free.
+    pub max_shard_len: Option<usize>,
 }
 
 impl Default for ShardConfig {
@@ -208,6 +274,10 @@ impl Default for ShardConfig {
             relearn: true,
             relearn_trigger: 1.25,
             relearn_min_gain: 0.1,
+            relearn_strategy: RelearnStrategy::default(),
+            nudge_gain_fraction: 0.75,
+            max_step_elems: 1 << 16,
+            max_shard_len: None,
         }
     }
 }
@@ -247,6 +317,18 @@ impl ShardConfig {
             (0.0..1.0).contains(&self.relearn_min_gain),
             "relearn min gain must be a fraction in [0, 1)"
         );
+        assert!(
+            (0.0..=1.0).contains(&self.nudge_gain_fraction),
+            "nudge gain fraction must be a fraction in [0, 1]"
+        );
+        assert!(
+            self.max_step_elems >= 1,
+            "a maintenance step must be allowed to move at least one element"
+        );
+        assert!(
+            self.max_shard_len.is_none_or(|m| m >= self.min_split_len),
+            "a shard-length backstop below min_split_len could never split"
+        );
         self.rma.validate();
     }
 }
@@ -272,6 +354,58 @@ pub struct ShardedRma {
     /// the background maintainer when `cfg.adaptive_decay` is set.
     decay_period: AtomicU64,
     lock_stats: Arc<LockStats>,
+    /// Counters behind [`maintenance_stats`](Self::maintenance_stats):
+    /// bumped by the plan engine and the batch re-route path.
+    maint_counters: MaintCounters,
+}
+
+/// Internal atomics behind [`MaintenanceStats`].
+#[derive(Debug, Default)]
+pub(crate) struct MaintCounters {
+    pub(crate) plans: AtomicU64,
+    pub(crate) steps_planned: AtomicU64,
+    pub(crate) steps_executed: AtomicU64,
+    pub(crate) steps_skipped: AtomicU64,
+    pub(crate) keys_migrated: AtomicU64,
+    pub(crate) nudges: AtomicU64,
+    pub(crate) max_step_ns: AtomicU64,
+    pub(crate) batch_reroutes: AtomicU64,
+}
+
+/// Snapshot of the incremental maintenance engine's lifetime
+/// counters ([`ShardedRma::maintenance_stats`]). All counts are
+/// monotonic since construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Non-empty [`MaintenancePlan`]s produced by the planners.
+    pub plans: u64,
+    /// Steps emitted into plans.
+    pub steps_planned: u64,
+    /// Steps that executed and published a topology (or validated as
+    /// an exact no-op).
+    pub steps_executed: u64,
+    /// Steps skipped as stale (the topology moved between planning
+    /// and execution).
+    pub steps_skipped: u64,
+    /// Elements moved into rebuilt shards across all executed steps
+    /// (a nudge counts only the migrated range; a rebuild counts the
+    /// rebuilt range's residents).
+    pub keys_migrated: u64,
+    /// Executed [`MaintenanceStep::NudgeBoundary`] steps.
+    pub nudges: u64,
+    /// Copy-on-write topologies published since construction
+    /// (maintenance steps of every kind, including monolithic
+    /// re-learns).
+    pub topologies_published: u64,
+    /// Worst time one executed step held its shard write locks, in
+    /// nanoseconds (drain + rebuild + publish; shell pre-creation and
+    /// the reader grace wait run outside the locks and are excluded)
+    /// — the bound on how long a writer could have queued behind
+    /// maintenance.
+    pub max_step_wall_ns: u64,
+    /// `apply_batch` rounds that had to re-route leftovers after a
+    /// step retired their target shard mid-flight.
+    pub batch_reroutes: u64,
 }
 
 impl ShardedRma {
@@ -299,6 +433,7 @@ impl ShardedRma {
             op_clock: AtomicU64::new(0),
             decay_period: AtomicU64::new(cfg.decay_every),
             lock_stats,
+            maint_counters: MaintCounters::default(),
         }
     }
 
@@ -404,6 +539,30 @@ impl ShardedRma {
         )
     }
 
+    pub(crate) fn maint_counters(&self) -> &MaintCounters {
+        &self.maint_counters
+    }
+
+    /// Lifetime counters of the incremental maintenance engine: plans
+    /// and steps (planned / executed / skipped), elements migrated,
+    /// topologies published, and the worst single-step wall time —
+    /// the observable proof that maintenance proceeds in bounded
+    /// steps rather than monolithic stalls.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        let c = &self.maint_counters;
+        MaintenanceStats {
+            plans: c.plans.load(Relaxed),
+            steps_planned: c.steps_planned.load(Relaxed),
+            steps_executed: c.steps_executed.load(Relaxed),
+            steps_skipped: c.steps_skipped.load(Relaxed),
+            keys_migrated: c.keys_migrated.load(Relaxed),
+            nudges: c.nudges.load(Relaxed),
+            topologies_published: self.handle.publications(),
+            max_step_wall_ns: c.max_step_ns.load(Relaxed),
+            batch_reroutes: c.batch_reroutes.load(Relaxed),
+        }
+    }
+
     /// Current number of shards (maintenance may change it).
     pub fn num_shards(&self) -> usize {
         self.topo().shards.len()
@@ -455,51 +614,66 @@ impl ShardedRma {
         }
     }
 
+    /// Runs `attempt` against a freshly pinned topology until it
+    /// succeeds. An attempt returns `None` to signal it found only
+    /// retired state (a maintenance step replaced its target shard
+    /// mid-flight) and must re-route. The retry is immediate — no
+    /// yield: a retired flag only becomes observable under a shard
+    /// lock the step released *after* publishing its successor
+    /// topology, so re-pinning is guaranteed to see the fresh routing
+    /// (yielding here would donate a scheduler slice to the busy
+    /// maintainer thread and stretch the writer's stall for nothing).
+    /// The single home of the retire-retry idiom shared by `insert`,
+    /// `remove` and `remove_successor`.
+    pub(crate) fn with_topo_retry<R>(&self, mut attempt: impl FnMut(&Topology) -> Option<R>) -> R {
+        loop {
+            let topo = self.topo();
+            if let Some(out) = attempt(&topo) {
+                return out;
+            }
+            drop(topo);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Routes `k` to its shard, takes the shard's write lock, records
+    /// the access, and runs `op` on the guard — re-routing through a
+    /// fresh topology whenever a maintenance step retired the target
+    /// shard first. Every single-key mutation goes through here, so
+    /// the step executor's frequent topology swaps exercise exactly
+    /// one retry path.
+    fn route_mut_with_retry<R>(
+        &self,
+        k: Key,
+        mut op: impl FnMut(&mut ShardWriteGuard<'_>) -> R,
+    ) -> R {
+        self.with_topo_retry(|topo| {
+            let shard = &topo.shards[topo.splitters.route(k)];
+            let mut guard = shard.write();
+            if guard.is_retired() {
+                return None;
+            }
+            let prev = shard.writes.fetch_add(1, Relaxed);
+            shard.stats.record(k);
+            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
+                self.tick_decay(topo, DECAY_TICK_BATCH);
+            }
+            Some(op(&mut guard))
+        })
+    }
+
     /// Inserts `(k, v)` (duplicates kept): routes to one shard and
     /// writes under its exclusive lock (plus the seqlock writer
     /// protocol). A rebalance or resize this triggers stays inside
     /// the shard. Re-routes if maintenance retired the shard
     /// mid-flight.
     pub fn insert(&self, k: Key, v: Value) {
-        loop {
-            let topo = self.topo();
-            let shard = &topo.shards[topo.splitters.route(k)];
-            let mut guard = shard.write();
-            if guard.is_retired() {
-                drop(guard);
-                drop(topo);
-                std::thread::yield_now();
-                continue;
-            }
-            let prev = shard.writes.fetch_add(1, Relaxed);
-            shard.stats.record(k);
-            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                self.tick_decay(&topo, DECAY_TICK_BATCH);
-            }
-            guard.mutate(|rma| rma.insert(k, v));
-            return;
-        }
+        self.route_mut_with_retry(k, |guard| guard.mutate(|rma| rma.insert(k, v)));
     }
 
     /// Removes one element with key exactly `k`, returning its value.
     pub fn remove(&self, k: Key) -> Option<Value> {
-        loop {
-            let topo = self.topo();
-            let shard = &topo.shards[topo.splitters.route(k)];
-            let mut guard = shard.write();
-            if guard.is_retired() {
-                drop(guard);
-                drop(topo);
-                std::thread::yield_now();
-                continue;
-            }
-            let prev = shard.writes.fetch_add(1, Relaxed);
-            shard.stats.record(k);
-            if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                self.tick_decay(&topo, DECAY_TICK_BATCH);
-            }
-            return guard.mutate(|rma| rma.remove(k));
-        }
+        self.route_mut_with_retry(k, |guard| guard.mutate(|rma| rma.remove(k)))
     }
 
     // ---------------------------------------------- access signal --
@@ -509,6 +683,19 @@ impl ShardedRma {
     pub fn access_masses(&self) -> Vec<u64> {
         let topo = self.topo();
         topo.shards.iter().map(|s| s.stats.total()).collect()
+    }
+
+    /// Length of the largest shard (lock-free estimate: optimistic
+    /// per-shard reads, `0` for a shard under writer interference —
+    /// good enough for the maintenance trigger that watches the
+    /// [`ShardConfig::max_shard_len`] length backstop).
+    pub fn max_shard_len(&self) -> usize {
+        let topo = self.topo();
+        topo.shards
+            .iter()
+            .map(|s| s.try_optimistic(|rma| rma.len()).unwrap_or(0))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Max/mean access imbalance across shards: `1.0` is perfectly

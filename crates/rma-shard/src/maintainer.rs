@@ -1,6 +1,8 @@
-//! The background maintenance thread: calls
-//! [`maintain`](ShardedRma::maintain) on a cadence so callers never
-//! pay splitter re-learning or shard rebalancing inline.
+//! The background maintenance thread: plans maintenance off the
+//! access-imbalance and op-rate signals and **drains the plan a few
+//! steps per tick with inter-step sleeps**, so callers never pay
+//! splitter re-learning or shard rebalancing inline *and* the
+//! maintainer never monopolises a core on huge topologies.
 //!
 //! # Lifecycle
 //!
@@ -12,23 +14,34 @@
 //!    [`ShardConfig::adaptive_decay`](crate::ShardConfig::adaptive_decay)
 //!    is set — retunes the histogram decay period so phase changes
 //!    are forgotten in roughly constant wall-clock time;
-//! 2. runs [`maintain`](ShardedRma::maintain) when the access
-//!    imbalance crosses [`MaintainerConfig::imbalance_trigger`] and
-//!    at least [`MaintainerConfig::min_ops_between`] operations
-//!    arrived since the previous run (so an idle index never churns).
+//! 2. if a [`MaintenancePlan`](crate::MaintenancePlan) is in flight,
+//!    executes up to [`MaintainerConfig::steps_per_tick`] of its
+//!    steps, parking for [`MaintainerConfig::step_pause`] between
+//!    them — each step publishes its own copy-on-write topology, so
+//!    between steps every writer runs completely unobstructed;
+//! 3. otherwise, when the access imbalance crosses
+//!    [`MaintainerConfig::imbalance_trigger`] and at least
+//!    [`MaintainerConfig::min_ops_between`] operations arrived since
+//!    the previous plan finished, asks the planner
+//!    ([`ShardedRma::plan_maintenance`]) for a fresh plan (so an idle
+//!    index never churns).
+//!
+//! Under [`RelearnStrategy::Monolithic`](crate::RelearnStrategy) the
+//! plan engine is bypassed and the thread runs the old synchronous
+//! [`maintain`](ShardedRma::maintain) — the comparison baseline the
+//! `fig18_write_stall` driver measures.
 //!
 //! Because the read path is optimistic (see [`crate::optimistic`]),
-//! maintenance running on this thread does not block readers: they
-//! keep serving from the pre-publication topology until the swap and
-//! from the new one after. Writers queue only on the shards actually
-//! being restructured.
+//! maintenance running on this thread never blocks readers; with the
+//! incremental engine, writers queue only behind the single step
+//! currently restructuring their shard.
 //!
 //! Stopping: [`Maintainer::stop`] (or dropping the handle) flags the
-//! thread, unparks it and joins. The thread never outlives the
-//! handle, and dropping the last index `Arc` after the join frees
-//! everything — there is no detached state.
+//! thread, unparks it and joins. An in-flight plan is abandoned
+//! mid-drain — safe, because every executed step left a complete,
+//! consistent topology; the next maintainer simply re-plans.
 
-use crate::ShardedRma;
+use crate::{MaintenancePlan, MaintenanceStep, RelearnStrategy, ShardedRma};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,13 +52,20 @@ pub struct MaintainerConfig {
     /// Time between polls of the imbalance/op-rate signals.
     pub poll_interval: Duration,
     /// [`ShardedRma::access_imbalance`] threshold (max/mean) at or
-    /// above which a poll escalates to [`ShardedRma::maintain`].
-    /// `1.0` maintains on every eligible poll.
+    /// above which a poll escalates to planning maintenance.
+    /// `1.0` plans on every eligible poll.
     pub imbalance_trigger: f64,
     /// Minimum operations (shared-clock granules) between consecutive
-    /// maintenance runs — the backstop that keeps a hot but stable
-    /// imbalance from re-running maintenance every poll.
+    /// plans — the backstop that keeps a hot but stable imbalance
+    /// from re-planning maintenance every poll.
     pub min_ops_between: u64,
+    /// Maximum plan steps executed per poll tick — the fairness
+    /// budget that stops a huge topology's plan from monopolising
+    /// this thread (and the memory bus) in one burst.
+    pub steps_per_tick: usize,
+    /// Pause between consecutive steps within one tick. Writers
+    /// queued behind a step drain during the pause.
+    pub step_pause: Duration,
 }
 
 impl Default for MaintainerConfig {
@@ -54,6 +74,8 @@ impl Default for MaintainerConfig {
             poll_interval: Duration::from_millis(25),
             imbalance_trigger: 1.25,
             min_ops_between: 4096,
+            steps_per_tick: 4,
+            step_pause: Duration::from_micros(500),
         }
     }
 }
@@ -66,6 +88,8 @@ pub struct MaintainerStats {
     relearns: AtomicU64,
     splits: AtomicU64,
     merges: AtomicU64,
+    nudges: AtomicU64,
+    steps: AtomicU64,
 }
 
 impl MaintainerStats {
@@ -73,11 +97,13 @@ impl MaintainerStats {
     pub fn polls(&self) -> u64 {
         self.polls.load(Relaxed)
     }
-    /// Escalations to [`ShardedRma::maintain`].
+    /// Escalations to maintenance (plans created, or synchronous
+    /// `maintain()` calls under the monolithic strategy).
     pub fn runs(&self) -> u64 {
         self.runs.load(Relaxed)
     }
-    /// Runs in which the splitter set was actually re-learned.
+    /// Runs in which splitter re-learning engaged (a re-learn plan
+    /// was created, or the monolithic pass actually re-learned).
     pub fn relearns(&self) -> u64 {
         self.relearns.load(Relaxed)
     }
@@ -88,6 +114,16 @@ impl MaintainerStats {
     /// Shard merges performed across all runs.
     pub fn merges(&self) -> u64 {
         self.merges.load(Relaxed)
+    }
+    /// Boundary nudges performed across all runs.
+    pub fn nudges(&self) -> u64 {
+        self.nudges.load(Relaxed)
+    }
+    /// Plan steps that executed (stale skips excluded) across all
+    /// runs — incremental mode only; mirrors
+    /// [`MaintenanceStats::steps_executed`](crate::MaintenanceStats).
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Relaxed)
     }
 }
 
@@ -131,7 +167,8 @@ impl ShardedRma {
     /// owns the thread: keep it alive for as long as maintenance
     /// should run, and drop (or [`stop`](Maintainer::stop)) it to
     /// shut down deterministically. Multiple maintainers are safe
-    /// (maintenance is serialized internally) but pointless.
+    /// (step publication is serialized internally, and stale steps
+    /// skip) but pointless.
     pub fn start_maintainer(self: &Arc<Self>, cfg: MaintainerConfig) -> Maintainer {
         assert!(
             cfg.poll_interval > Duration::ZERO,
@@ -141,6 +178,7 @@ impl ShardedRma {
             cfg.imbalance_trigger >= 1.0,
             "imbalance trigger below 1 would churn on balanced load"
         );
+        assert!(cfg.steps_per_tick >= 1, "need at least one step per tick");
         let index = Arc::clone(self);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(MaintainerStats::default());
@@ -160,15 +198,60 @@ impl ShardedRma {
     }
 }
 
+/// Executes up to `steps_per_tick` steps of `plan`, pausing between
+/// steps; returns `true` when the plan is fully drained.
+fn drain_tick(
+    index: &ShardedRma,
+    cfg: &MaintainerConfig,
+    stop: &AtomicBool,
+    stats: &MaintainerStats,
+    plan: &mut MaintenancePlan,
+) -> bool {
+    for executed in 0..cfg.steps_per_tick {
+        if stop.load(Relaxed) {
+            return false; // abandoned mid-drain: every step was complete
+        }
+        // Inter-step pause *before* each subsequent step: writers
+        // queued behind the previous publication drain undisturbed.
+        if executed > 0 && cfg.step_pause > Duration::ZERO {
+            std::thread::park_timeout(cfg.step_pause);
+            if stop.load(Relaxed) {
+                return false;
+            }
+        }
+        let Some(report) = index.execute_step(plan) else {
+            return true;
+        };
+        if report.executed {
+            stats.steps.fetch_add(1, Relaxed);
+            match report.step {
+                MaintenanceStep::SplitShard { .. } => stats.splits.fetch_add(1, Relaxed),
+                MaintenanceStep::MergePair { .. } => stats.merges.fetch_add(1, Relaxed),
+                MaintenanceStep::NudgeBoundary { .. } => stats.nudges.fetch_add(1, Relaxed),
+                MaintenanceStep::RebuildShard { .. } => 0,
+            };
+        }
+    }
+    plan.is_empty()
+}
+
 fn maintainer_loop(
     index: &ShardedRma,
     cfg: &MaintainerConfig,
     stop: &AtomicBool,
     stats: &MaintainerStats,
 ) {
+    let monolithic = index.config().relearn_strategy == RelearnStrategy::Monolithic;
     let mut last_ops = index.op_count();
     let mut last_maintained_ops = last_ops;
     let mut last_poll = Instant::now();
+    let mut plan: Option<MaintenancePlan> = None;
+    // Set when a trigger produced an empty plan (nothing actionable —
+    // e.g. an over-backstop shard that is one giant duplicate run and
+    // cannot split). While set, the un-throttled backstop trigger
+    // falls back to the op backstop, so an unplannable condition
+    // cannot re-run the planner on every poll forever.
+    let mut last_plan_empty = false;
     while !stop.load(Relaxed) {
         std::thread::park_timeout(cfg.poll_interval);
         if stop.load(Relaxed) {
@@ -188,16 +271,64 @@ fn maintainer_loop(
             last_maintained_ops = ops;
         }
         last_ops = ops;
-        let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;
-        if enough_ops && index.access_imbalance() >= cfg.imbalance_trigger {
-            let (relearn, rebalance) = index.maintain();
-            stats.runs.fetch_add(1, Relaxed);
-            if relearn.relearned {
-                stats.relearns.fetch_add(1, Relaxed);
+
+        // Drain an in-flight plan on the tick budget before looking
+        // at the trigger signals again.
+        if let Some(p) = plan.as_mut() {
+            if drain_tick(index, cfg, stop, stats, p) {
+                plan = None;
+                last_maintained_ops = index.op_count();
             }
-            stats.splits.fetch_add(rebalance.splits as u64, Relaxed);
-            stats.merges.fetch_add(rebalance.merges as u64, Relaxed);
-            last_maintained_ops = index.op_count();
+            continue;
+        }
+
+        let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;
+        // Two trigger signals. Skewed access is throttled by the
+        // `min_ops_between` backstop (churn control). A shard past
+        // the `max_shard_len` length line is normally NOT throttled —
+        // it is an SLO invariant: every operation the oversized shard
+        // absorbs while the maintainer waits makes the split that
+        // must shrink it (the one uncappable step) hold its locks
+        // longer. The exception: if the previous trigger produced an
+        // empty plan (the oversized shard is unplannable, e.g. one
+        // giant duplicate run), the breach falls back to the op
+        // throttle so it cannot re-run the planner every poll.
+        let backstop_breached = (enough_ops || !last_plan_empty)
+            && index
+                .config()
+                .max_shard_len
+                .is_some_and(|m| index.max_shard_len() > m);
+        let triggered =
+            (enough_ops && index.access_imbalance() >= cfg.imbalance_trigger) || backstop_breached;
+        if triggered {
+            if monolithic {
+                // Comparison baseline: the old synchronous pass.
+                let (relearn, rebalance) = index.maintain();
+                stats.runs.fetch_add(1, Relaxed);
+                if relearn.relearned {
+                    stats.relearns.fetch_add(1, Relaxed);
+                }
+                stats.splits.fetch_add(rebalance.splits as u64, Relaxed);
+                stats.merges.fetch_add(rebalance.merges as u64, Relaxed);
+                last_plan_empty = !relearn.relearned && rebalance.splits + rebalance.merges == 0;
+                last_maintained_ops = index.op_count();
+                continue;
+            }
+            let fresh = index.plan_maintenance();
+            if fresh.is_empty() {
+                // Triggered but nothing worth doing (stability
+                // guards, or an unplannable backstop breach): back
+                // off by the op backstop.
+                last_plan_empty = true;
+                last_maintained_ops = index.op_count();
+            } else {
+                last_plan_empty = false;
+                stats.runs.fetch_add(1, Relaxed);
+                if fresh.relearn_planned() {
+                    stats.relearns.fetch_add(1, Relaxed);
+                }
+                plan = Some(fresh);
+            }
         }
     }
 }
@@ -232,13 +363,15 @@ mod tests {
             poll_interval: Duration::from_millis(1),
             imbalance_trigger: 1.25,
             min_ops_between: 64,
+            step_pause: Duration::from_micros(100),
+            ..Default::default()
         });
         // Hammer shard 0 only; the background thread must react.
-        for round in 0..200 {
+        for round in 0..500 {
             for k in 0..500i64 {
                 s.insert(k, k);
             }
-            if m.stats().runs() > 0 {
+            if m.stats().steps() > 0 {
                 let _ = round;
                 break;
             }
@@ -247,13 +380,14 @@ mod tests {
         let stats = m.stop();
         assert!(
             stats.runs() > 0,
-            "maintainer never ran: polls={} imbalance={}",
+            "maintainer never planned: polls={} imbalance={}",
             stats.polls(),
             s.access_imbalance()
         );
+        assert!(stats.steps() > 0, "maintainer never executed a step");
         s.check_invariants();
         assert!(
-            s.num_shards() > 4 || stats.relearns() > 0,
+            s.num_shards() > 4 || stats.relearns() > 0 || stats.nudges() > 0,
             "maintenance ran but changed nothing: {stats:?}"
         );
     }
@@ -291,5 +425,35 @@ mod tests {
         }
         m.stop();
         assert_ne!(s.decay_period(), 8192, "maintainer never retuned decay");
+    }
+
+    #[test]
+    fn monolithic_strategy_runs_the_synchronous_pass() {
+        let mut cfg = small_cfg(4);
+        cfg.min_split_len = 64;
+        cfg.relearn_strategy = crate::RelearnStrategy::Monolithic;
+        let s = Arc::new(ShardedRma::with_splitters(
+            cfg,
+            Splitters::new(vec![1000, 2000, 3000]),
+        ));
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            imbalance_trigger: 1.25,
+            min_ops_between: 64,
+            ..Default::default()
+        });
+        for _ in 0..500 {
+            for k in 0..500i64 {
+                s.insert(k, k);
+            }
+            if m.stats().runs() > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = m.stop();
+        assert!(stats.runs() > 0, "monolithic maintainer never ran");
+        assert_eq!(stats.steps(), 0, "monolithic mode bypasses the plan engine");
+        s.check_invariants();
     }
 }

@@ -1,52 +1,78 @@
-//! Shard maintenance: per-shard load statistics, the access-driven
-//! split/merge pass, and online splitter re-learning.
+//! Shard maintenance: per-shard load statistics and the **incremental
+//! maintenance plan engine** — planners that emit bounded
+//! [`MaintenanceStep`]s and an executor that applies one step at a
+//! time, each publishing its own copy-on-write topology.
 //!
-//! PR 1's maintenance split the hottest shard at its *key median* —
-//! blind to where inside the shard the workload lands. This module
-//! balances on the decayed access histogram instead (the paper's §IV
-//! idea, lifted from segments to shards):
+//! PR 3 made *readers* immune to maintenance (optimistic seqlock
+//! shards behind an epoch-published topology), but writers could
+//! still stall ~100 ms at 2^20 scale: `relearn_splitters()` drained
+//! every shard under its write lock and published the rebuilt
+//! topology in one swap. Following the paper's incremental-rebalance
+//! philosophy (restructuring must not stall the data path, §V) one
+//! level up, this module decomposes maintenance:
 //!
-//! * [`ShardedRma::rebalance_shards`] splits shards whose access mass
-//!   exceeds `split_factor ×` the mean at the **equal-access point of
-//!   their histogram CDF**, and merges neighbours whose combined
-//!   decayed mass falls below the `merge_factor ×` mean floor;
-//! * [`ShardedRma::relearn_splitters`] re-learns the whole splitter
-//!   set multi-way from the global histogram
-//!   ([`Splitters::from_weighted_histogram`]), guarded twice: it
-//!   engages only when the observed imbalance exceeds
-//!   `relearn_trigger`, and only when the predicted imbalance after
-//!   re-learning improves by at least `relearn_min_gain` — so uniform
-//!   workloads cause zero topology churn;
-//! * [`ShardedRma::maintain`] is the periodic entry point combining
-//!   both (and what the background maintainer thread calls).
+//! * **planners** ([`ShardedRma::plan_maintenance`],
+//!   [`ShardedRma::plan_relearn`], [`ShardedRma::plan_rebalance`],
+//!   in [`plan`]) read the access histograms and emit a
+//!   [`MaintenancePlan`] of bounded steps — [`SplitShard`]
+//!   (one shard; its work is bounded by that shard's size, which the
+//!   opt-in `ShardConfig::max_shard_len` backstop keeps within a
+//!   step's budget), [`MergePair`] / [`NudgeBoundary`] (two adjacent
+//!   shards), [`RebuildShard`] (one target key range, capped at
+//!   `ShardConfig::max_step_elems` residents);
+//! * the **executor** ([`ShardedRma::execute_step`] /
+//!   [`ShardedRma::drain_plan`], in [`executor`]) applies one step at
+//!   a time: it locks only the shards inside the step's key range,
+//!   drains them, publishes a successor topology that reuses every
+//!   untouched shard's `Arc`, and waits out the read grace period —
+//!   so a full re-learn proceeds shard-by-shard and **a writer only
+//!   ever waits out the one step currently restructuring its shard,
+//!   never the whole topology**;
+//! * the **monolithic baseline**
+//!   ([`ShardedRma::relearn_splitters_monolithic`], in
+//!   [`monolithic`]) keeps the PR-3 single-swap rebuild as an
+//!   explicit comparison point for the `fig18_write_stall` benchmark.
+//!
+//! [`NudgeBoundary`] is the cheap path for *drifting* hotspots: when
+//! the histogram CDF says one boundary move recovers most of the
+//! predicted re-learn gain, the planner migrates just the key range
+//! between the old and new boundary (bulk extract from the donor,
+//! bulk append into the receiver) instead of rebuilding the topology.
+//!
+//! The public entry points [`ShardedRma::rebalance_shards`],
+//! [`ShardedRma::relearn_splitters`] and [`ShardedRma::maintain`]
+//! keep their PR-2/PR-3 signatures — they now plan and immediately
+//! drain. The background maintainer ([`crate::maintainer`]) instead
+//! drains plans a few steps per tick with inter-step sleeps.
 //!
 //! # Maintenance vs. the lock-free read path
 //!
-//! Maintenance no longer takes a fleet-wide lock. Every structural
-//! change is published **copy-on-write**: the maintainer (serialized
+//! Every structural change remains copy-on-write: a step (serialized
 //! by the maintenance mutex) drains the affected shards under their
 //! write locks, builds a successor [`Topology`] that reuses the
-//! untouched shards' `Arc`s, marks the replaced shards retired,
-//! swaps the topology pointer, releases the locks, and only then
-//! waits out the readers still pinned to the displaced topology
-//! (generation-counted grace period — see [`crate::optimistic`]).
-//! Readers therefore never block behind maintenance: they either
-//! serve from the fresh topology or finish against the retired one,
-//! whose drained shards stay frozen and readable until the grace
-//! period ends. Writers that reach a retired shard re-route. The
-//! drained elements are *copied* into the successor shards, so the
-//! old topology remains a complete, consistent snapshot for its
-//! remaining readers.
+//! untouched shards' `Arc`s, marks the replaced shards retired, swaps
+//! the topology pointer, releases the locks, and only then waits out
+//! the readers still pinned to the displaced topology. Readers never
+//! block behind maintenance; writers that reach a retired shard
+//! re-route (`ShardedRma::with_topo_retry`). Restructured shards are
+//! rebuilt through the paper's bulk-load machinery and their
+//! histograms are **re-seeded** from the learned signal, so
+//! maintenance never resets what the workload taught the structure.
 //!
-//! Restructured shards are rebuilt through the paper's bulk-load
-//! machinery and their histograms are **re-seeded** from the learned
-//! signal (clipped to the new key range), so maintenance never resets
-//! what the workload taught the structure. [`BalancePolicy::ByLen`]
-//! restores the PR-1 median-split behaviour as an explicit baseline.
+//! [`SplitShard`]: MaintenanceStep::SplitShard
+//! [`MergePair`]: MaintenanceStep::MergePair
+//! [`NudgeBoundary`]: MaintenanceStep::NudgeBoundary
+//! [`RebuildShard`]: MaintenanceStep::RebuildShard
 
-use crate::access::AccessStats;
+pub(crate) mod executor;
+pub(crate) mod monolithic;
+pub(crate) mod plan;
+
+pub use executor::{DrainReport, StepReport};
+pub use plan::{MaintenancePlan, MaintenanceStep};
+
 use crate::shard::{Shard, Topology};
-use crate::{BalancePolicy, ShardedRma, Splitters};
+use crate::{BalancePolicy, RelearnStrategy, ShardedRma, Splitters};
 use rma_core::{Key, Rma, Value};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
@@ -86,13 +112,14 @@ pub struct MaintenanceReport {
 /// What one [`ShardedRma::relearn_splitters`] call decided.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RelearnReport {
-    /// Whether the splitter set was actually replaced.
+    /// Whether the splitter set was actually changed (any re-learn
+    /// step — nudge, split, rebuild or merge — executed).
     pub relearned: bool,
     /// Max/mean access imbalance observed before the call (0 when no
     /// access mass had been recorded).
     pub imbalance_before: f64,
-    /// Predicted max/mean imbalance under the candidate splitters
-    /// (only set when a candidate was evaluated).
+    /// Predicted max/mean imbalance under the chosen plan (only set
+    /// when a candidate was evaluated).
     pub imbalance_predicted: f64,
     /// Shard count before the call.
     pub shards_before: usize,
@@ -100,46 +127,13 @@ pub struct RelearnReport {
     pub shards_after: usize,
 }
 
-/// Index to split a sorted run at so both halves are non-empty and no
-/// key straddles the cut; `None` when every key is equal. This is the
-/// PR-1 key-median cut, kept as the [`BalancePolicy::ByLen`] strategy
-/// and as the fallback when the histogram carries no usable signal.
-fn median_cut(elems: &[(Key, Value)]) -> Option<usize> {
-    if elems.len() < 2 {
-        return None;
-    }
-    let key = elems[elems.len() / 2].0;
-    let cut = elems.partition_point(|p| p.0 < key);
-    if cut > 0 {
-        return Some(cut);
-    }
-    let cut = elems.partition_point(|p| p.0 <= key);
-    (cut < elems.len()).then_some(cut)
-}
-
-/// Equal-access cut: the index where the shard's histogram CDF
-/// crosses half its mass, snapped to the element array so both halves
-/// are non-empty and no duplicate run straddles the cut. Falls back
-/// to [`median_cut`] when the histogram cannot resolve a valid cut.
-fn access_cut(elems: &[(Key, Value)], stats: &AccessStats) -> Option<usize> {
-    if elems.len() < 2 {
-        return None;
-    }
-    let wb = stats.weighted_buckets();
-    let two_way = Splitters::from_weighted_histogram(&wb, 2);
-    let Some(&key) = two_way.keys().first() else {
-        return median_cut(elems); // zero or point mass: no CDF signal
-    };
-    let cut = elems.partition_point(|p| p.0 < key);
-    if cut == 0 || cut == elems.len() {
-        return median_cut(elems); // mass lies outside the stored keys
-    }
-    Some(cut)
-}
-
 /// Clips weighted buckets to `[lo, hi)`, scaling each straddling
 /// bucket's mass by its overlap fraction (piecewise-uniform model).
-fn clip_weights(wb: &[(Key, Key, u64)], lo: Option<Key>, hi: Option<Key>) -> Vec<(Key, Key, u64)> {
+pub(super) fn clip_weights(
+    wb: &[(Key, Key, u64)],
+    lo: Option<Key>,
+    hi: Option<Key>,
+) -> Vec<(Key, Key, u64)> {
     wb.iter()
         .filter_map(|&(blo, bhi, w)| {
             let clo = lo.map_or(blo, |l| blo.max(l));
@@ -157,7 +151,7 @@ fn clip_weights(wb: &[(Key, Key, u64)], lo: Option<Key>, hi: Option<Key>) -> Vec
 
 /// Access mass each shard of `splitters` would receive from the
 /// weighted buckets (piecewise-uniform distribution of straddlers).
-fn predicted_masses(wb: &[(Key, Key, u64)], splitters: &Splitters) -> Vec<f64> {
+pub(super) fn predicted_masses(wb: &[(Key, Key, u64)], splitters: &Splitters) -> Vec<f64> {
     let mut masses = vec![0f64; splitters.num_shards()];
     for &(blo, bhi, w) in wb {
         let span = (bhi as i128 - blo as i128).max(1) as f64;
@@ -175,8 +169,18 @@ fn predicted_masses(wb: &[(Key, Key, u64)], splitters: &Splitters) -> Vec<f64> {
     masses
 }
 
+/// Concatenated weighted histogram of the adjacent shard pair
+/// `(l, l + 1)` — the signal both the nudge planner and the
+/// merge/nudge executors seed successor shards from (one home, so
+/// planner predictions and executor seeding can never diverge).
+pub(super) fn pair_weighted_buckets(topo: &Topology, l: usize) -> Vec<(Key, Key, u64)> {
+    let mut pair_wb = topo.shards[l].stats.weighted_buckets();
+    pair_wb.extend(topo.shards[l + 1].stats.weighted_buckets());
+    pair_wb
+}
+
 /// Max/mean of a mass vector; `1.0` for empty or all-zero input.
-fn imbalance_of(masses: &[f64]) -> f64 {
+pub(super) fn imbalance_of(masses: &[f64]) -> f64 {
     let total: f64 = masses.iter().sum();
     if total <= 0.0 || masses.is_empty() {
         return 1.0;
@@ -213,7 +217,11 @@ impl ShardedRma {
     /// Under `ByAccess` this is the decayed histogram mass, falling
     /// back to element counts while no access has been recorded (a
     /// freshly bulk-loaded index still balances by residency).
-    fn balance_weights(lens: &[usize], masses: &[u64], policy: BalancePolicy) -> Vec<u64> {
+    pub(super) fn balance_weights(
+        lens: &[usize],
+        masses: &[u64],
+        policy: BalancePolicy,
+    ) -> Vec<u64> {
         match policy {
             BalancePolicy::ByLen => lens.iter().map(|&l| l as u64).collect(),
             BalancePolicy::ByAccess => {
@@ -226,237 +234,126 @@ impl ShardedRma {
         }
     }
 
+    /// An empty RMA ready to become a successor shard. Creating one
+    /// costs a memfd + reservation mapping (milliseconds under the
+    /// rewired backend), so the step executor pre-creates its shells
+    /// *before* taking any shard lock — the locked window pays only
+    /// for draining and loading the actual elements.
+    pub(super) fn shard_shell(&self) -> Rma {
+        Rma::new(self.cfg.rma)
+    }
+
+    /// Bulk-loads `elems` into a pre-created shell and wraps it as
+    /// the shard covering range `i` of `splitters`, histogram seeded
+    /// from `wb`.
+    pub(super) fn finish_shard(
+        &self,
+        mut shell: Rma,
+        splitters: &Splitters,
+        i: usize,
+        elems: &[(Key, Value)],
+        wb: &[(Key, Key, u64)],
+    ) -> Arc<Shard> {
+        shell.load_bulk(elems);
+        let (lo, hi) = splitters.range_of(i);
+        let shard = Shard::new(shell, lo, hi, &self.cfg, Arc::clone(self.lock_stats_arc()));
+        shard.stats.seed(&clip_weights(wb, lo, hi));
+        Arc::new(shard)
+    }
+
     /// Builds a successor shard over `elems` covering shard range `i`
     /// of `splitters`, histogram seeded from `wb`.
-    fn build_shard(
+    pub(super) fn build_shard(
         &self,
         splitters: &Splitters,
         i: usize,
         elems: &[(Key, Value)],
         wb: &[(Key, Key, u64)],
     ) -> Arc<Shard> {
-        let mut rma = Rma::new(self.cfg.rma);
-        rma.load_bulk(elems);
-        let (lo, hi) = splitters.range_of(i);
-        let shard = Shard::new(rma, lo, hi, &self.cfg, Arc::clone(self.lock_stats_arc()));
-        shard.stats.seed(&clip_weights(wb, lo, hi));
-        Arc::new(shard)
+        self.finish_shard(self.shard_shell(), splitters, i, elems, wb)
     }
 
     /// Splits shards whose balance weight exceeds `split_factor ×` the
     /// mean and merges adjacent pairs whose combined weight falls
-    /// below the `merge_factor ×` mean floor. Under the default
-    /// [`BalancePolicy::ByAccess`], split points come from the
-    /// shard histogram's equal-access CDF point and restructured
-    /// shards inherit their parents' (clipped) histograms. Each step
-    /// publishes a copy-on-write topology: concurrent readers keep
-    /// serving throughout, writers re-route past the replaced shards.
-    /// Restructured shards restart their read/write counters.
+    /// below the `merge_factor ×` mean floor, by planning and
+    /// immediately draining bounded rounds of [`MaintenanceStep`]s.
+    /// Under the default [`BalancePolicy::ByAccess`], split points
+    /// come from the shard histogram's equal-access CDF point and
+    /// restructured shards inherit their parents' (clipped)
+    /// histograms. Each step publishes a copy-on-write topology:
+    /// concurrent readers keep serving throughout, writers re-route
+    /// past the replaced shards. Restructured shards restart their
+    /// read/write counters.
     pub fn rebalance_shards(&self) -> MaintenanceReport {
-        let _maint = self.maintenance_guard();
         let mut report = MaintenanceReport::default();
-        // Split pass: repeatedly split the heaviest offender. Bounded
-        // so a pathological distribution cannot spin here forever.
-        for _ in 0..64 {
-            if !self.split_step() {
+        // Bounded rounds: each round plans against the fresh topology
+        // and drains, so a pathological distribution cannot spin here
+        // forever.
+        for _ in 0..16 {
+            let mut plan = self.plan_rebalance();
+            if plan.is_empty() {
                 break;
             }
-            report.splits += 1;
-        }
-        // Merge pass: collapse the leftmost cold pair until none
-        // remains.
-        for _ in 0..64 {
-            if !self.merge_step() {
-                break;
+            let drained = self.drain_plan(&mut plan);
+            report.splits += drained.splits;
+            report.merges += drained.merges;
+            if drained.splits + drained.merges == 0 {
+                break; // every step went stale: re-plan next call
             }
-            report.merges += 1;
         }
         report
     }
 
-    /// One split publication; `false` when no shard qualifies.
-    /// Caller holds the maintenance mutex.
-    fn split_step(&self) -> bool {
-        let topo = self.topo_handle().load_exclusive();
-        let policy = self.cfg.balance;
-        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
-        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
-        let weights = Self::balance_weights(&lens, &masses, policy);
-        let total: u64 = weights.iter().sum();
-        if total == 0 {
-            return false;
-        }
-        let mean = (total / weights.len() as u64).max(1);
-        let (hot, &hot_w) = weights
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &w)| w)
-            .expect("at least one shard");
-        if (hot_w as f64) <= self.cfg.split_factor * mean as f64
-            || lens[hot] < self.cfg.min_split_len
-        {
-            return false;
-        }
-        let shard = &topo.shards[hot];
-        let guard = shard.write();
-        let elems: Vec<(Key, Value)> = guard.rma().iter().collect();
-        let cut = match policy {
-            BalancePolicy::ByLen => median_cut(&elems),
-            BalancePolicy::ByAccess => access_cut(&elems, &shard.stats),
-        };
-        let Some(cut) = cut else {
-            return false; // one giant duplicate run: nothing to split on
-        };
-        let split_key = elems[cut].0;
-        let parent_wb = shard.stats.weighted_buckets();
-        let mut splitters = topo.splitters.clone();
-        splitters.split_shard(hot, split_key);
-        let left = self.build_shard(&splitters, hot, &elems[..cut], &parent_wb);
-        let right = self.build_shard(&splitters, hot + 1, &elems[cut..], &parent_wb);
-        let mut shards = topo.shards.clone();
-        shards[hot] = left;
-        shards.insert(hot + 1, right);
-        guard.retire();
-        let retired = self.topo_handle().publish(Topology { splitters, shards });
-        drop(guard); // release before the grace wait: queued writers must re-route
-        self.topo_handle().reclaim(retired);
-        true
-    }
-
-    /// One merge publication; `false` when no adjacent pair
-    /// qualifies. Under ByAccess a merge additionally requires the
-    /// combined length to stay below the split trigger, so merging
-    /// two access-cold but element-heavy shards cannot manufacture an
-    /// instantly-splittable giant. Caller holds the maintenance mutex.
-    fn merge_step(&self) -> bool {
-        let topo = self.topo_handle().load_exclusive();
-        let policy = self.cfg.balance;
-        let n = topo.shards.len();
-        if n <= 1 {
-            return false;
-        }
-        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
-        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
-        let weights = Self::balance_weights(&lens, &masses, policy);
-        let total: u64 = weights.iter().sum();
-        let total_len: usize = lens.iter().sum();
-        if total == 0 || total_len == 0 {
-            return false; // keep learned splitters while the index is empty
-        }
-        let mean = (total / n as u64).max(1);
-        let mean_len = (total_len / n).max(1);
-        let cold = (0..n - 1).find(|&i| {
-            let combined = (weights[i] + weights[i + 1]) as f64;
-            let len_ok = policy == BalancePolicy::ByLen
-                || ((lens[i] + lens[i + 1]) as f64) <= self.cfg.split_factor * mean_len as f64;
-            combined < self.cfg.merge_factor * mean as f64 && len_ok
-        });
-        let Some(i) = cold else { return false };
-        // Ascending lock order; point writers hold at most one shard
-        // lock at a time, so this cannot deadlock.
-        let left_guard = topo.shards[i].write();
-        let right_guard = topo.shards[i + 1].write();
-        let mut elems: Vec<(Key, Value)> = left_guard.rma().iter().collect();
-        // Right neighbour's keys all exceed the removed splitter,
-        // so concatenation preserves sorted order.
-        elems.extend(right_guard.rma().iter());
-        let mut pair_wb = topo.shards[i].stats.weighted_buckets();
-        pair_wb.extend(topo.shards[i + 1].stats.weighted_buckets());
-        let mut splitters = topo.splitters.clone();
-        splitters.merge_with_next(i);
-        let merged = self.build_shard(&splitters, i, &elems, &pair_wb);
-        let mut shards = topo.shards.clone();
-        shards[i] = merged;
-        shards.remove(i + 1);
-        left_guard.retire();
-        right_guard.retire();
-        let retired = self.topo_handle().publish(Topology { splitters, shards });
-        drop(right_guard);
-        drop(left_guard);
-        self.topo_handle().reclaim(retired);
-        true
-    }
-
-    /// Re-learns the splitter set multi-way from the global access
-    /// histogram: the new splitters sit at the equal-access quantiles
-    /// of the concatenated per-shard histograms, so hammered key
-    /// intervals get many narrow shards and cold intervals collapse
-    /// into wide ones (steering the count back to
-    /// `ShardConfig::num_shards`).
+    /// Re-learns the splitter set from the global access histogram —
+    /// multi-way equal-access quantiles, guarded twice (observed
+    /// imbalance must reach `relearn_trigger` **and** the predicted
+    /// imbalance must improve by `relearn_min_gain`), so uniform
+    /// workloads cause zero churn.
     ///
-    /// Stability guard: the topology is only rebuilt when the observed
-    /// max/mean access imbalance reaches `relearn_trigger` **and** the
-    /// predicted imbalance under the candidate splitters improves on
-    /// it by at least `relearn_min_gain`. Uniform workloads therefore
-    /// cause zero churn. The rebuild drains every shard under its
-    /// write lock (writers queue; readers keep serving optimistically
-    /// from the pre-rebuild topology) and publishes the successor
-    /// copy-on-write; rebuilt shards keep their learned histograms
-    /// (re-binned to the new ranges).
+    /// Under the default [`RelearnStrategy::Incremental`] the rebuild
+    /// is planned as bounded steps and drained immediately — each
+    /// step publishes its own topology, so writers only ever queue
+    /// behind the one step touching their shard. A single
+    /// [`MaintenanceStep::NudgeBoundary`] replaces the whole plan
+    /// when one boundary move recovers most of the predicted gain
+    /// (the drifting-hotspot fast path).
+    /// [`RelearnStrategy::Monolithic`] restores the PR-3 single-swap
+    /// drain; [`RelearnStrategy::NudgeOnly`] never rebuilds, it only
+    /// chases boundaries.
     pub fn relearn_splitters(&self) -> RelearnReport {
-        let _maint = self.maintenance_guard();
-        let topo = self.topo_handle().load_exclusive();
-        let n = topo.shards.len();
-        let mut report = RelearnReport {
-            shards_before: n,
-            shards_after: n,
-            ..Default::default()
-        };
-        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
-        let total: u64 = masses.iter().sum();
-        if total == 0 {
-            return report; // no signal to learn from
+        if self.cfg.relearn_strategy == RelearnStrategy::Monolithic {
+            return self.relearn_splitters_monolithic();
         }
-        let mean = total as f64 / n as f64;
-        let imbalance = *masses.iter().max().expect("at least one shard") as f64 / mean;
-        report.imbalance_before = imbalance;
-        if imbalance < self.cfg.relearn_trigger {
-            return report; // already balanced: no churn
+        let mut plan = self.plan_relearn();
+        let mut report = plan.relearn_report();
+        let mut executed = self.drain_plan(&mut plan).executed();
+        // A nudge sweep is one round of *local* moves; convergence to
+        // the equal-access topology comes from cascading them (each
+        // round re-plans against the moved boundaries), like a Lloyd
+        // iteration. Bounded so a pathological histogram cannot spin.
+        if self.cfg.relearn_strategy == RelearnStrategy::NudgeOnly && executed > 0 {
+            for _ in 0..7 {
+                let mut next = self.plan_relearn();
+                if next.is_empty() {
+                    break;
+                }
+                let drained = self.drain_plan(&mut next).executed();
+                executed += drained;
+                if drained == 0 {
+                    break;
+                }
+            }
         }
-        let wb: Vec<(Key, Key, u64)> = topo
-            .shards
-            .iter()
-            .flat_map(|s| s.stats.weighted_buckets())
-            .collect();
-        let candidate = Splitters::from_weighted_histogram(&wb, self.cfg.num_shards);
-        if candidate == topo.splitters {
-            return report;
-        }
-        let predicted = imbalance_of(&predicted_masses(&wb, &candidate));
-        report.imbalance_predicted = predicted;
-        if predicted >= (1.0 - self.cfg.relearn_min_gain) * imbalance {
-            return report; // gain too small to justify the churn
-        }
-
-        // Rebuild: drain every shard under its write lock (ascending
-        // order). Shards are contiguous and sorted, so concatenating
-        // them yields the full sorted content.
-        let guards: Vec<_> = topo.shards.iter().map(|s| s.write()).collect();
-        let mut elems: Vec<(Key, Value)> = Vec::new();
-        for guard in &guards {
-            guard.rma().collect_into(&mut elems);
-        }
-        let parts = candidate.partition_sorted(&elems);
-        let shards: Vec<Arc<Shard>> = (0..candidate.num_shards())
-            .map(|i| self.build_shard(&candidate, i, &elems[parts[i].clone()], &wb))
-            .collect();
-        report.shards_after = shards.len();
-        report.relearned = true;
-        for guard in &guards {
-            guard.retire();
-        }
-        let retired = self.topo_handle().publish(Topology {
-            splitters: candidate,
-            shards,
-        });
-        drop(guards); // release before the grace wait (see split_step)
-        self.topo_handle().reclaim(retired);
+        report.relearned = executed > 0;
+        report.shards_after = self.num_shards();
         report
     }
 
-    /// Periodic maintenance entry point: multi-way splitter
-    /// re-learning (when `ShardConfig::relearn` is on) followed by the
-    /// incremental split/merge pass.
+    /// Periodic maintenance entry point: splitter re-learning (when
+    /// `ShardConfig::relearn` is on) followed by the incremental
+    /// split/merge pass. Plans and drains synchronously; the
+    /// background maintainer uses the plan/step API directly instead
+    /// so it can pace the steps.
     pub fn maintain(&self) -> (RelearnReport, MaintenanceReport) {
         let relearn = if self.cfg.relearn {
             self.relearn_splitters()
@@ -677,8 +574,9 @@ mod tests {
 
     #[test]
     fn concurrent_reads_survive_relearn_publication() {
-        // A reader that pinned the pre-relearn topology must keep
-        // serving correct values while the rebuild publishes.
+        // A reader that pinned a pre-step topology must keep serving
+        // correct values while the incremental drain publishes one
+        // topology per step.
         let mut cfg = small_cfg(4);
         cfg.min_split_len = 64;
         let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));

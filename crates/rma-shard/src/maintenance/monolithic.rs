@@ -1,0 +1,153 @@
+//! The monolithic re-learn baseline: the PR-3 single-swap rebuild,
+//! kept verbatim so the incremental engine has an in-tree comparison
+//! point — [`RelearnStrategy::Monolithic`](crate::RelearnStrategy)
+//! selects it, and the `fig18_write_stall` driver measures the writer
+//! stall it causes (every shard's write lock held for the whole
+//! rebuild) against the plan engine's bounded steps.
+
+use super::{imbalance_of, predicted_masses, RelearnReport};
+use crate::shard::{Shard, Topology};
+use crate::{ShardedRma, Splitters};
+use rma_core::{Key, Value};
+use std::sync::Arc;
+
+impl ShardedRma {
+    /// Re-learns the splitter set multi-way from the global access
+    /// histogram in **one pass**: the rebuild drains every shard
+    /// under its write lock (writers queue behind the whole rebuild;
+    /// readers keep serving optimistically from the pre-rebuild
+    /// topology) and publishes the successor in a single swap. Same
+    /// two-stage stability guard as the incremental planner; rebuilt
+    /// shards keep their learned histograms (re-binned to the new
+    /// ranges).
+    ///
+    /// This is the explicit baseline for
+    /// [`relearn_splitters`](Self::relearn_splitters) — prefer the
+    /// incremental default unless you are measuring the difference.
+    pub fn relearn_splitters_monolithic(&self) -> RelearnReport {
+        let _maint = self.maintenance_guard();
+        let topo = self.topo_handle().load_exclusive();
+        let n = topo.shards.len();
+        let mut report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let total: u64 = masses.iter().sum();
+        if total == 0 {
+            return report; // no signal to learn from
+        }
+        let mean = total as f64 / n as f64;
+        let imbalance = *masses.iter().max().expect("at least one shard") as f64 / mean;
+        report.imbalance_before = imbalance;
+        if imbalance < self.cfg.relearn_trigger {
+            return report; // already balanced: no churn
+        }
+        let wb: Vec<(Key, Key, u64)> = topo
+            .shards
+            .iter()
+            .flat_map(|s| s.stats.weighted_buckets())
+            .collect();
+        let candidate = Splitters::from_weighted_histogram(&wb, self.cfg.num_shards);
+        if candidate == topo.splitters {
+            return report;
+        }
+        let predicted = imbalance_of(&predicted_masses(&wb, &candidate));
+        report.imbalance_predicted = predicted;
+        if predicted >= (1.0 - self.cfg.relearn_min_gain) * imbalance {
+            return report; // gain too small to justify the churn
+        }
+
+        // Rebuild: drain every shard under its write lock (ascending
+        // order). Shards are contiguous and sorted, so concatenating
+        // them yields the full sorted content.
+        let guards: Vec<_> = topo.shards.iter().map(|s| s.write()).collect();
+        let mut elems: Vec<(Key, Value)> = Vec::new();
+        for guard in &guards {
+            guard.rma().collect_into(&mut elems);
+        }
+        let parts = candidate.partition_sorted(&elems);
+        let shards: Vec<Arc<Shard>> = (0..candidate.num_shards())
+            .map(|i| self.build_shard(&candidate, i, &elems[parts[i].clone()], &wb))
+            .collect();
+        report.shards_after = shards.len();
+        report.relearned = true;
+        for guard in &guards {
+            guard.retire();
+        }
+        let retired = self.topo_handle().publish(Topology {
+            splitters: candidate,
+            shards,
+        });
+        drop(guards); // release before the grace wait (see publish_step)
+        self.topo_handle().reclaim(retired);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::small_cfg;
+    use crate::{RelearnStrategy, ShardedRma, Splitters};
+
+    /// The monolithic baseline and the incremental default must land
+    /// on the same splitters when every target range fits the step
+    /// cap — the deterministic core of the plan-equivalence
+    /// guarantee (the proptest in `tests/sharded_differential.rs`
+    /// broadens it).
+    #[test]
+    fn monolithic_and_incremental_agree_on_small_topologies() {
+        let run = |strategy: RelearnStrategy| {
+            let mut cfg = small_cfg(4);
+            cfg.relearn_strategy = strategy;
+            // Force the full-rebuild path (not the single nudge).
+            cfg.nudge_gain_fraction = 1.0;
+            let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));
+            for k in 0..4000i64 {
+                s.insert(k, k);
+            }
+            s.reset_access_stats();
+            for _ in 0..20 {
+                for k in 2100..2200i64 {
+                    let _ = s.get(k);
+                }
+            }
+            let report = s.relearn_splitters();
+            assert!(report.relearned, "{strategy:?}: {report:?}");
+            s.check_invariants();
+            (s.splitters(), s.collect_all())
+        };
+        let (mono_splitters, mono_content) = run(RelearnStrategy::Monolithic);
+        let (inc_splitters, inc_content) = run(RelearnStrategy::Incremental);
+        assert_eq!(mono_content, inc_content);
+        assert_eq!(
+            mono_splitters, inc_splitters,
+            "uncapped incremental drain must reproduce the monolithic splitters"
+        );
+    }
+
+    #[test]
+    fn monolithic_strategy_is_selected_by_config() {
+        let mut cfg = small_cfg(4);
+        cfg.relearn_strategy = RelearnStrategy::Monolithic;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new(vec![1000, 2000, 3000]));
+        for k in 0..4000i64 {
+            s.insert(k, k);
+        }
+        s.reset_access_stats();
+        for _ in 0..20 {
+            for k in 2100..2200i64 {
+                let _ = s.get(k);
+            }
+        }
+        let before = s.maintenance_stats();
+        let report = s.relearn_splitters();
+        assert!(report.relearned);
+        let after = s.maintenance_stats();
+        // The monolithic path bypasses the plan engine entirely: one
+        // publication, zero steps.
+        assert_eq!(after.steps_executed, before.steps_executed);
+        assert_eq!(after.topologies_published, before.topologies_published + 1);
+    }
+}

@@ -1,0 +1,581 @@
+//! Maintenance planning: turning the access-histogram signal into a
+//! [`MaintenancePlan`] of bounded, key-identified steps.
+//!
+//! Steps are identified by **keys**, not shard indices, wherever the
+//! topology can shift between planning and execution — a plan is
+//! advisory, and the executor re-validates every step against the
+//! live topology (stale steps are skipped, never mis-applied). The
+//! one exception is [`MaintenanceStep::NudgeBoundary`], which names
+//! the donor/receiver shard *indices* for observability; nudges never
+//! change the shard count, so an all-nudge plan keeps its indices
+//! valid, and the executor still re-derives and re-validates the
+//! boundary from the live splitters before touching anything.
+//!
+//! Three planners:
+//!
+//! * [`ShardedRma::plan_rebalance`] — one round of the split/merge
+//!   pass: every shard over the `split_factor` trigger gets a
+//!   [`SplitShard`] at its histogram-CDF (or median) cut, every
+//!   leftmost non-overlapping cold pair a [`MergePair`];
+//! * [`ShardedRma::plan_relearn`] — the multi-way re-learn behind the
+//!   PR-2 two-stage stability guard. When the histogram CDF says a
+//!   single boundary move recovers at least `nudge_gain_fraction` of
+//!   the full rebuild's predicted gain, the plan is one
+//!   [`NudgeBoundary`] (the drifting-hotspot fast path); otherwise it
+//!   is a shard-by-shard sequence of [`RebuildShard`] range steps,
+//!   each capped at `max_step_elems` residents — target ranges whose
+//!   residents exceed the cap are aligned with edge [`SplitShard`]s
+//!   plus cap-bounded [`MergePair`]s instead, trading a few extra
+//!   splitters inside element-heavy cold ranges for a hard bound on
+//!   how long any step can hold its shard locks;
+//! * [`ShardedRma::plan_maintenance`] — what the background
+//!   maintainer drains: the relearn plan when it is non-empty, the
+//!   rebalance plan otherwise.
+//!
+//! [`SplitShard`]: MaintenanceStep::SplitShard
+//! [`MergePair`]: MaintenanceStep::MergePair
+//! [`NudgeBoundary`]: MaintenanceStep::NudgeBoundary
+//! [`RebuildShard`]: MaintenanceStep::RebuildShard
+
+use super::{imbalance_of, predicted_masses, RelearnReport};
+use crate::shard::{Shard, Topology};
+use crate::{BalancePolicy, RelearnStrategy, ShardedRma, Splitters};
+use rma_core::Key;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::Ordering::Relaxed;
+
+/// One bounded unit of topology restructuring. Every step publishes
+/// its own copy-on-write topology when executed, so concurrent
+/// writers only ever queue behind the shards named by a single step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceStep {
+    /// Make `at` a splitter: the shard containing `at` is drained and
+    /// rebuilt as two shards `[.., at)` / `[at, ..)`. Skipped if `at`
+    /// already is a boundary. Touches one shard; its work is bounded
+    /// by that shard's size (a split cannot be capped — it is how an
+    /// oversized shard shrinks — so latency-SLO deployments pair the
+    /// engine with `ShardConfig::max_shard_len` to keep every shard
+    /// within one step's budget).
+    SplitShard {
+        /// The new splitter key.
+        at: Key,
+    },
+    /// Remove the splitter `splitter`, merging the two shards
+    /// adjacent to it. Skipped if the splitter no longer exists or
+    /// the merged shard would exceed twice `max_step_elems` (clamped
+    /// to `max_shard_len` when set). Touches two shards.
+    MergePair {
+        /// The splitter key to remove.
+        splitter: Key,
+    },
+    /// Move the boundary between adjacent shards `from` and `to` to
+    /// `target_key`, migrating the key range between the old and new
+    /// boundary out of `from` into `to` (bulk extract + bulk append
+    /// through the per-shard RMA's bottom-up build). The cheap path
+    /// for drifting hotspots. Touches two shards.
+    NudgeBoundary {
+        /// Donor shard index (at plan time): loses the migrated range.
+        from: usize,
+        /// Receiver shard index: gains the migrated range.
+        to: usize,
+        /// Where the boundary moves to.
+        target_key: Key,
+        /// The splitter key between `from` and `to` at plan time —
+        /// the step's identity. The executor refuses the step if the
+        /// boundary between those indices is no longer this key, so a
+        /// concurrent topology change can never make a stale nudge
+        /// move the wrong boundary.
+        boundary: Key,
+    },
+    /// Rebuild the key range `[lo, hi)` (`None` = unbounded) into a
+    /// single shard, carving partial overlaps out of the edge shards.
+    /// The building block of the shard-by-shard incremental re-learn.
+    RebuildShard {
+        /// Inclusive lower bound of the target range.
+        lo: Option<Key>,
+        /// Exclusive upper bound of the target range.
+        hi: Option<Key>,
+    },
+}
+
+/// An ordered queue of [`MaintenanceStep`]s produced by one planner
+/// call, plus the planning decision snapshot. Drained step-by-step by
+/// [`ShardedRma::execute_step`] (the background maintainer's paced
+/// mode) or all at once by [`ShardedRma::drain_plan`].
+#[derive(Debug)]
+pub struct MaintenancePlan {
+    steps: VecDeque<MaintenanceStep>,
+    relearn_planned: bool,
+    report: RelearnReport,
+}
+
+impl MaintenancePlan {
+    /// Steps remaining to execute.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when every step has been executed (or none was planned).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The remaining steps, front (next to execute) first.
+    pub fn steps(&self) -> impl Iterator<Item = &MaintenanceStep> {
+        self.steps.iter()
+    }
+
+    /// Whether this plan came out of the re-learn planner (as opposed
+    /// to the split/merge rebalance planner).
+    pub fn relearn_planned(&self) -> bool {
+        self.relearn_planned
+    }
+
+    /// The planning decision snapshot: observed and predicted
+    /// imbalance, shard counts at plan time. `relearned` and
+    /// `shards_after` are only meaningful after the drain.
+    pub fn relearn_report(&self) -> RelearnReport {
+        self.report
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<MaintenanceStep> {
+        self.steps.pop_front()
+    }
+}
+
+/// The work one [`MaintenanceStep::RebuildShard`] over `[lo, hi)`
+/// would do: a rebuild drains and rebuilds *every* overlapped shard
+/// in full (partial edge overlaps become rebuilt prefix/suffix
+/// shards), so the step's cost is the union's total residency — not
+/// just the target range's. The executor enforces the same measure.
+fn union_residents(lens: &[usize], j0: usize, j1: usize) -> usize {
+    lens[j0..=j1].iter().sum()
+}
+
+impl ShardedRma {
+    /// The plan the background maintainer drains on its tick budget:
+    /// the re-learn plan when the stability guards admit one, the
+    /// split/merge rebalance plan otherwise. (Under
+    /// [`RelearnStrategy::Monolithic`] re-learning is not plannable;
+    /// the maintainer calls [`maintain`](Self::maintain) directly.)
+    pub fn plan_maintenance(&self) -> MaintenancePlan {
+        if self.cfg.relearn && self.cfg.relearn_strategy != RelearnStrategy::Monolithic {
+            let plan = self.plan_relearn();
+            if !plan.is_empty() {
+                return plan;
+            }
+        }
+        self.plan_rebalance()
+    }
+
+    /// One round of the split/merge pass as a plan: a [`SplitShard`]
+    /// for every shard whose balance weight exceeds `split_factor ×`
+    /// the mean (cut at the histogram CDF midpoint under `ByAccess`,
+    /// the key median under `ByLen`), a [`MergePair`] for every
+    /// leftmost non-overlapping adjacent pair under the
+    /// `merge_factor ×` mean floor. Balanced topologies plan zero
+    /// steps.
+    ///
+    /// [`SplitShard`]: MaintenanceStep::SplitShard
+    /// [`MergePair`]: MaintenanceStep::MergePair
+    pub fn plan_rebalance(&self) -> MaintenancePlan {
+        let topo = self.topo();
+        let policy = self.cfg.balance;
+        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let weights = Self::balance_weights(&lens, &masses, policy);
+        let total: u64 = weights.iter().sum();
+        let n = weights.len();
+        let report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let mut steps = Vec::new();
+        if total == 0 {
+            return self.finish_plan(steps, false, report);
+        }
+        let mean = (total / n as u64).max(1);
+        for i in 0..n {
+            let hot = (weights[i] as f64) > self.cfg.split_factor * mean as f64;
+            // Optional length backstop (`ShardConfig::max_shard_len`):
+            // a shard larger than one step may rebuild would make
+            // *every* future restructuring of it — including the
+            // split that shrinks it — exceed the per-step stall
+            // bound, so SLO deployments split it as soon as it
+            // crosses the line, regardless of access balance.
+            let oversized = self.cfg.max_shard_len.is_some_and(|m| lens[i] > m);
+            if (hot || oversized) && lens[i] >= self.cfg.min_split_len {
+                if let Some(at) = self.split_point(&topo.shards[i]) {
+                    steps.push(MaintenanceStep::SplitShard { at });
+                }
+            }
+        }
+        let total_len: usize = lens.iter().sum();
+        // Merges only while the index holds data (learned splitters
+        // are kept while it is empty). Under ByAccess a merge
+        // additionally requires the combined length to stay below the
+        // split trigger, so merging two access-cold but element-heavy
+        // shards cannot manufacture an instantly-splittable giant.
+        if total_len > 0 && n > 1 {
+            let mean_len = (total_len / n).max(1);
+            let mut i = 0;
+            while i + 1 < n {
+                let combined = (weights[i] + weights[i + 1]) as f64;
+                let combined_len = lens[i] + lens[i + 1];
+                let len_ok = (policy == BalancePolicy::ByLen
+                    || (combined_len as f64) <= self.cfg.split_factor * mean_len as f64)
+                    // Never merge past the length backstop: the next
+                    // round would split the result right back.
+                    && self.cfg.max_shard_len.is_none_or(|m| combined_len <= m);
+                if combined < self.cfg.merge_factor * mean as f64 && len_ok {
+                    steps.push(MaintenanceStep::MergePair {
+                        splitter: topo.splitters.keys()[i],
+                    });
+                    i += 2; // pairs must not overlap within one round
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.finish_plan(steps, false, report)
+    }
+
+    /// The multi-way splitter re-learn as a plan, behind the same
+    /// two-stage stability guard as always: empty unless the observed
+    /// max/mean access imbalance reaches `relearn_trigger` **and**
+    /// the chosen plan's predicted imbalance improves on it by at
+    /// least `relearn_min_gain` — uniform workloads plan zero steps.
+    /// See the module docs for the nudge-vs-rebuild decision.
+    pub fn plan_relearn(&self) -> MaintenancePlan {
+        let topo = self.topo();
+        let n = topo.shards.len();
+        let mut report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let total: u64 = masses.iter().sum();
+        if total == 0 {
+            return self.finish_plan(Vec::new(), true, report); // no signal to learn from
+        }
+        let mean = total as f64 / n as f64;
+        let imbalance = *masses.iter().max().expect("at least one shard") as f64 / mean;
+        report.imbalance_before = imbalance;
+        if imbalance < self.cfg.relearn_trigger {
+            return self.finish_plan(Vec::new(), true, report); // already balanced
+        }
+        let wb: Vec<(Key, Key, u64)> = topo
+            .shards
+            .iter()
+            .flat_map(|s| s.stats.weighted_buckets())
+            .collect();
+        let gain_bar = (1.0 - self.cfg.relearn_min_gain) * imbalance;
+
+        if self.cfg.relearn_strategy == RelearnStrategy::NudgeOnly {
+            // Nudge sweeps are guarded by the trigger plus their own
+            // fixpoint (a sweep whose targets all coincide with the
+            // current boundaries plans nothing) — NOT by the
+            // `relearn_min_gain` bar. A Lloyd iteration's *marginal*
+            // per-round improvement shrinks long before the fixpoint,
+            // so gain-gating sweeps would freeze the boundary chase
+            // mid-convergence (and make the background maintainer,
+            // which re-plans one sweep per poll, diverge from the
+            // synchronous cascade in `relearn_splitters`). Nudges are
+            // bounded two-shard steps; the trigger alone throttles
+            // them adequately.
+            let (steps, predicted) = self.nudge_sweep(&topo, &masses, &wb);
+            report.imbalance_predicted = predicted;
+            return self.finish_plan(steps, true, report);
+        }
+
+        let candidate = Splitters::from_weighted_histogram(&wb, self.cfg.num_shards);
+        let full_pred =
+            (candidate != topo.splitters).then(|| imbalance_of(&predicted_masses(&wb, &candidate)));
+        let nudge = self.best_nudge(&topo, &masses, &wb);
+        let full_ok = full_pred.is_some_and(|p| p < gain_bar);
+        let nudge_ok = nudge.as_ref().is_some_and(|&(_, p)| p < gain_bar);
+        // Plan-equivalence bar: a nudge may replace the full rebuild
+        // only if it is predicted to land within this factor of the
+        // rebuild's imbalance (the repository's acceptance criterion
+        // for the incremental engine).
+        const NUDGE_EQUIVALENCE: f64 = 1.1;
+        // Prefer the single-boundary nudge when it clears the gain
+        // guard, recovers most of the full rebuild's predicted gain
+        // *and* stays within the equivalence bar (or the full rebuild
+        // is not worth doing at all) — one two-shard step instead of
+        // a topology-wide drain.
+        let prefer_nudge = nudge_ok
+            && match (nudge.as_ref(), full_pred) {
+                (Some(&(_, np)), Some(fp)) if full_ok => {
+                    np <= NUDGE_EQUIVALENCE * fp
+                        && (imbalance - np) >= self.cfg.nudge_gain_fraction * (imbalance - fp)
+                }
+                _ => true,
+            };
+        let steps = if prefer_nudge {
+            let (step, predicted) = nudge.expect("prefer_nudge implies a candidate");
+            report.imbalance_predicted = predicted;
+            vec![step]
+        } else if full_ok {
+            report.imbalance_predicted = full_pred.expect("full_ok implies a prediction");
+            let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
+            self.full_rebuild_steps(&topo, &candidate, &lens)
+        } else {
+            if let Some(p) = full_pred {
+                report.imbalance_predicted = p; // gain too small: no churn
+            }
+            Vec::new()
+        };
+        self.finish_plan(steps, true, report)
+    }
+
+    /// Records plan counters and wraps the steps.
+    fn finish_plan(
+        &self,
+        steps: Vec<MaintenanceStep>,
+        relearn: bool,
+        report: RelearnReport,
+    ) -> MaintenancePlan {
+        if !steps.is_empty() {
+            let c = self.maint_counters();
+            c.plans.fetch_add(1, Relaxed);
+            c.steps_planned.fetch_add(steps.len() as u64, Relaxed);
+        }
+        MaintenancePlan {
+            relearn_planned: relearn && !steps.is_empty(),
+            steps: steps.into(),
+            report,
+        }
+    }
+
+    /// The split key the configured [`BalancePolicy`] would cut this
+    /// shard at, snapped to a resident key so both halves are
+    /// non-empty; `None` when the shard cannot be split (one giant
+    /// duplicate run). Works through point probes (`first_ge`) and a
+    /// half-shard iterator walk at worst — it never materializes the
+    /// shard, which the executor will do anyway under the write lock.
+    fn split_point(&self, shard: &Shard) -> Option<Key> {
+        let guard = shard.read();
+        let min = guard.first_ge(Key::MIN)?.0;
+        // Equal-access candidate: the histogram CDF midpoint, snapped
+        // up to the first resident key. Invalid (outside the resident
+        // range, or equal to the minimum — an empty left half) falls
+        // through to the median.
+        if self.cfg.balance == BalancePolicy::ByAccess {
+            let wb = shard.stats.weighted_buckets();
+            let two_way = Splitters::from_weighted_histogram(&wb, 2);
+            if let Some(key) = two_way
+                .keys()
+                .first()
+                .and_then(|&k| guard.first_ge(k))
+                .map(|p| p.0)
+                .filter(|&k| k > min)
+            {
+                return Some(key);
+            }
+        }
+        // Median fallback (the PR-1 ByLen cut): the middle element's
+        // key, or — when the front run of duplicates reaches the
+        // middle — the first key after that run.
+        let len = guard.len();
+        if len < 2 {
+            return None;
+        }
+        let median = guard.iter().nth(len / 2).expect("len/2 < len").0;
+        if median > min {
+            Some(median)
+        } else {
+            guard
+                .first_ge(min.saturating_add(1))
+                .map(|p| p.0)
+                .filter(|&k| k > min)
+        }
+    }
+
+    /// Decomposes the jump from the current splitters to `target`
+    /// into bounded steps: a [`MaintenanceStep::RebuildShard`] per
+    /// target range whose residents fit `max_step_elems`, and — for
+    /// oversized (element-heavy, access-cold) ranges — exact edge
+    /// splits plus cap-bounded merges of the interior boundaries.
+    /// Target ranges that already exist as shards plan nothing.
+    fn full_rebuild_steps(
+        &self,
+        topo: &Topology,
+        target: &Splitters,
+        lens: &[usize],
+    ) -> Vec<MaintenanceStep> {
+        let n = topo.shards.len();
+        let cap = self.cfg.max_step_elems;
+        let cur = topo.splitters.keys();
+        let mut splits: BTreeSet<Key> = BTreeSet::new();
+        let mut rebuilds = Vec::new();
+        let mut merges = Vec::new();
+        for i in 0..target.num_shards() {
+            let (lo, hi) = target.range_of(i);
+            let j0 = lo.map_or(0, |l| topo.splitters.route(l));
+            let j1 = hi.map_or(n - 1, |h| topo.splitters.route(h.saturating_sub(1)));
+            if j0 == j1 && topo.splitters.range_of(j0) == (lo, hi) {
+                continue; // this range already is a shard: no churn
+            }
+            if union_residents(lens, j0, j1) <= cap {
+                rebuilds.push(MaintenanceStep::RebuildShard { lo, hi });
+            } else {
+                // Oversized: pin the target edges with 1-shard splits;
+                // interior boundaries stay unless a cap-bounded merge
+                // can absorb them (the executor enforces the cap).
+                for edge in [lo, hi].into_iter().flatten() {
+                    if cur.binary_search(&edge).is_err() {
+                        splits.insert(edge);
+                    }
+                }
+                for &c in &cur[j0..j1] {
+                    merges.push(MaintenanceStep::MergePair { splitter: c });
+                }
+            }
+        }
+        // Splits first (cheap, 1-shard), then range rebuilds, then
+        // the merge attempts inside oversized ranges.
+        let mut steps: Vec<MaintenanceStep> = splits
+            .into_iter()
+            .map(|at| MaintenanceStep::SplitShard { at })
+            .collect();
+        steps.extend(rebuilds);
+        steps.extend(merges);
+        steps
+    }
+
+    /// The best single boundary move around the hottest shard: for
+    /// each of its (up to two) boundaries, the pair histogram's
+    /// equal-access point becomes the nudge target, and the candidate
+    /// with the lowest predicted global imbalance wins.
+    fn best_nudge(
+        &self,
+        topo: &Topology,
+        masses: &[u64],
+        wb: &[(Key, Key, u64)],
+    ) -> Option<(MaintenanceStep, f64)> {
+        let n = topo.shards.len();
+        if n < 2 {
+            return None;
+        }
+        let (hot, _) = masses
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &m)| m)
+            .expect("at least one shard");
+        let mut best: Option<(MaintenanceStep, f64)> = None;
+        for l in [hot.checked_sub(1), (hot + 1 < n).then_some(hot)]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(cand) = self.nudge_candidate(topo, wb, l) {
+                if best.as_ref().is_none_or(|&(_, p)| cand.1 < p) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    /// Nudge candidate for the boundary between shards `l` and
+    /// `l + 1`: target is the equal-access point of the pair's
+    /// combined histogram. `None` when the pair carries no signal or
+    /// the target is not strictly inside the pair's key range.
+    fn nudge_candidate(
+        &self,
+        topo: &Topology,
+        wb: &[(Key, Key, u64)],
+        l: usize,
+    ) -> Option<(MaintenanceStep, f64)> {
+        let boundary = *topo.splitters.keys().get(l)?;
+        let pair_wb = super::pair_weighted_buckets(topo, l);
+        let two_way = Splitters::from_weighted_histogram(&pair_wb, 2);
+        let &target = two_way.keys().first()?;
+        let (pair_lo, _) = topo.splitters.range_of(l);
+        let (_, pair_hi) = topo.splitters.range_of(l + 1);
+        if target == boundary
+            || pair_lo.is_some_and(|lo| target <= lo)
+            || pair_hi.is_some_and(|hi| target >= hi)
+        {
+            return None;
+        }
+        let mut keys = topo.splitters.keys().to_vec();
+        keys[l] = target;
+        let predicted = imbalance_of(&predicted_masses(wb, &Splitters::new(keys)));
+        let (from, to) = if target < boundary {
+            (l, l + 1) // boundary moves left: the left shard donates
+        } else {
+            (l + 1, l)
+        };
+        Some((
+            MaintenanceStep::NudgeBoundary {
+                from,
+                to,
+                target_key: target,
+                boundary,
+            },
+            predicted,
+        ))
+    }
+
+    /// The [`RelearnStrategy::NudgeOnly`] sweep: each boundary is
+    /// nudged toward its **global** equal-access quantile — the same
+    /// target function the full re-learn solves, but applied as
+    /// bounded two-shard moves, each clamped to stay strictly between
+    /// its (evolving) neighbours. A small move lands in one round; a
+    /// splitter cluster sliding after a drifting band converges over
+    /// the bounded rounds [`ShardedRma::relearn_splitters`] runs.
+    /// Unlike the full re-learn, a sweep never changes the shard
+    /// count, so its steps stay index-valid against each other.
+    /// Returns the steps plus the predicted global imbalance under
+    /// all of them applied.
+    fn nudge_sweep(
+        &self,
+        topo: &Topology,
+        _masses: &[u64],
+        wb: &[(Key, Key, u64)],
+    ) -> (Vec<MaintenanceStep>, f64) {
+        let mut steps = Vec::new();
+        let mut keys = topo.splitters.keys().to_vec();
+        let targets = Splitters::from_weighted_histogram(wb, keys.len() + 1);
+        for l in 0..keys.len() {
+            // Duplicate-collapsed target sets leave trailing
+            // boundaries un-targeted; they keep their position.
+            let Some(&raw) = targets.keys().get(l) else {
+                continue;
+            };
+            // Clamp strictly inside the evolving neighbours (left one
+            // already moved this sweep, right one not yet).
+            let floor = if l == 0 {
+                Key::MIN
+            } else {
+                keys[l - 1].saturating_add(1)
+            };
+            let ceil = keys.get(l + 1).map_or(Key::MAX, |&k| k.saturating_sub(1));
+            if floor > ceil {
+                continue;
+            }
+            let target = raw.clamp(floor, ceil);
+            let boundary = keys[l];
+            if target == boundary {
+                continue;
+            }
+            let (from, to) = if target < boundary {
+                (l, l + 1) // boundary moves left: the left shard donates
+            } else {
+                (l + 1, l)
+            };
+            keys[l] = target;
+            steps.push(MaintenanceStep::NudgeBoundary {
+                from,
+                to,
+                target_key: target,
+                boundary,
+            });
+        }
+        let predicted = imbalance_of(&predicted_masses(wb, &Splitters::new(keys)));
+        (steps, predicted)
+    }
+}

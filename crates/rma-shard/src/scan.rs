@@ -120,12 +120,12 @@ impl ShardedRma {
     /// Removes the first element with key `>= k`, or the maximum when
     /// every key is smaller (the mixed-workload delete operator).
     /// Returns `None` only on an empty index. Restarts against a
-    /// fresh topology if maintenance retires a shard mid-walk (the
-    /// walk mutates at most one shard, and only as its final step, so
-    /// restarting before that point is always safe).
+    /// fresh topology (via the shared `with_topo_retry` idiom) if a
+    /// maintenance step retires a shard mid-walk — the walk mutates
+    /// at most one shard, and only as its final action, so restarting
+    /// before that point is always safe.
     pub fn remove_successor(&self, k: Key) -> Option<(Key, Value)> {
-        'restart: loop {
-            let topo = self.topo();
+        self.with_topo_retry(|topo| {
             let start = topo.splitters.route(k);
             // Shards right of `start` hold only keys > k, so the first
             // non-empty one (checked under its write lock) has the
@@ -133,19 +133,16 @@ impl ShardedRma {
             for (i, shard) in topo.shards.iter().enumerate().skip(start) {
                 let mut g = shard.write();
                 if g.is_retired() {
-                    drop(g);
-                    drop(topo);
-                    std::thread::yield_now();
-                    continue 'restart;
+                    return None; // re-route through the fresh topology
                 }
                 let from = if i == start { k } else { Key::MIN };
                 if g.rma().first_ge(from).is_some() {
                     let prev = shard.writes.fetch_add(1, Relaxed);
                     shard.stats.record(from);
                     if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                        self.tick_decay(&topo, DECAY_TICK_BATCH);
+                        self.tick_decay(topo, DECAY_TICK_BATCH);
                     }
-                    return g.mutate(|rma| rma.remove_successor(from));
+                    return Some(g.mutate(|rma| rma.remove_successor(from)));
                 }
             }
             // No successor anywhere: remove the global maximum, which
@@ -154,22 +151,19 @@ impl ShardedRma {
             for shard in topo.shards[..=start].iter().rev() {
                 let mut g = shard.write();
                 if g.is_retired() {
-                    drop(g);
-                    drop(topo);
-                    std::thread::yield_now();
-                    continue 'restart;
+                    return None;
                 }
                 if !g.rma().is_empty() {
                     let prev = shard.writes.fetch_add(1, Relaxed);
                     shard.stats.record(Key::MAX);
                     if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
-                        self.tick_decay(&topo, DECAY_TICK_BATCH);
+                        self.tick_decay(topo, DECAY_TICK_BATCH);
                     }
-                    return g.mutate(|rma| rma.remove_successor(Key::MAX));
+                    return Some(g.mutate(|rma| rma.remove_successor(Key::MAX)));
                 }
             }
-            return None;
-        }
+            Some(None)
+        })
     }
 
     /// Collects every element in key order — test/debug helper (holds

@@ -235,6 +235,58 @@ impl ShardWriteGuard<'_> {
     }
 }
 
+/// Write guards over the contiguous run of shards that one
+/// maintenance step restructures — the *step-scoped* replacement for
+/// the PR-3 monolithic re-learn, which took every shard's write lock
+/// for the whole rebuild. A step locks only the shards inside its key
+/// range (in ascending order, so it cannot deadlock against point
+/// writers, which hold at most one shard lock), drains them, retires
+/// them, and releases — writers elsewhere in the key space never
+/// queue behind it.
+pub(crate) struct StepGuards<'a> {
+    guards: Vec<ShardWriteGuard<'a>>,
+    locked_at: std::time::Instant,
+}
+
+impl<'a> StepGuards<'a> {
+    /// Locks `shards[range]` in ascending index order.
+    pub(crate) fn lock(shards: &'a [Arc<Shard>], range: std::ops::RangeInclusive<usize>) -> Self {
+        StepGuards {
+            guards: shards[range].iter().map(|s| s.write()).collect(),
+            locked_at: std::time::Instant::now(),
+        }
+    }
+
+    /// How long these locks have been held — the writer-visible cost
+    /// of the step, measured just before release.
+    pub(crate) fn held(&self) -> std::time::Duration {
+        self.locked_at.elapsed()
+    }
+
+    /// The guards, in ascending shard order.
+    pub(crate) fn guards(&self) -> &[ShardWriteGuard<'a>] {
+        &self.guards
+    }
+
+    /// Concatenated elements of every locked shard, in key order
+    /// (shards cover contiguous disjoint ranges).
+    pub(crate) fn collect_elems(&self) -> Vec<(Key, rma_core::Value)> {
+        let mut out = Vec::new();
+        for g in &self.guards {
+            g.rma().collect_into(&mut out);
+        }
+        out
+    }
+
+    /// Marks every locked shard replaced; callers publish the
+    /// successor topology before dropping the guards.
+    pub(crate) fn retire_all(&self) {
+        for g in &self.guards {
+            g.retire();
+        }
+    }
+}
+
 /// The sharding topology: splitters plus one shard per range. Shards
 /// are `Arc`-shared so successive topologies (published through
 /// [`crate::optimistic::TopoHandle`]) can reuse the untouched ones.

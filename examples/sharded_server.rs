@@ -131,11 +131,27 @@ fn main() {
         scanned.load(Relaxed)
     );
     println!(
-        "maintenance (background): {} runs, {} relearns, {} splits, {} merges",
+        "maintenance (background): {} runs, {} relearns, {} splits, {} merges, {} nudges, {} steps",
         maint.runs(),
         maint.relearns(),
         maint.splits(),
-        maint.merges()
+        maint.merges(),
+        maint.nudges(),
+        maint.steps()
+    );
+    // The incremental plan engine's own counters: every topology
+    // change was one bounded step, and the worst step wall time is
+    // the longest any writer could have queued behind maintenance.
+    let ms = index.maintenance_stats();
+    println!(
+        "plan engine: {} plans, {}/{} steps executed/skipped, {} keys migrated, {} topologies published, {} batch re-routes, worst step {:.2} ms",
+        ms.plans,
+        ms.steps_executed,
+        ms.steps_skipped,
+        ms.keys_migrated,
+        ms.topologies_published,
+        ms.batch_reroutes,
+        ms.max_step_wall_ns as f64 / 1e6
     );
     let (read_locks, write_locks) = index.lock_acquisitions();
     println!("lock acquisitions: {read_locks} read, {write_locks} write (reads are optimistic)");

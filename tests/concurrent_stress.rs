@@ -147,6 +147,8 @@ fn readers_vs_background_maintainer_stress() {
         poll_interval: Duration::from_millis(1),
         imbalance_trigger: 1.1,
         min_ops_between: 256,
+        step_pause: Duration::from_micros(100),
+        ..Default::default()
     });
 
     std::thread::scope(|sc| {
@@ -222,6 +224,84 @@ fn apply_batch_vs_maintenance_stress() {
         .map(|k| (k, k))
         .collect();
     assert_eq!(index.collect_all(), want);
+}
+
+/// Writer progress while an incremental maintenance plan drains: no
+/// insert may block across more than one executed step. An insert
+/// that begins while step `k` holds its shard can at worst finish
+/// while step `k + 1` runs (it re-routes after `k` publishes), so the
+/// number of steps completed during any single insert is bounded by
+/// 2 — if a writer ever waited out the whole plan (the monolithic
+/// failure mode), the delta would be the plan length.
+#[test]
+fn writer_progress_during_incremental_drain() {
+    let base: Vec<(i64, i64)> = (0..40_000).map(|k| (k, k)).collect();
+    let index = ShardedRma::load_bulk(stress_cfg(8), &base);
+    // Build a real multi-step plan: hammer a narrow band so the
+    // re-learn planner produces a shard-by-shard rebuild sequence.
+    for _ in 0..40 {
+        for k in 0..400i64 {
+            let _ = index.get(k);
+        }
+    }
+    let mut plan = index.plan_maintenance();
+    assert!(
+        plan.len() >= 2,
+        "hot band must yield a multi-step plan, got {plan:?}"
+    );
+
+    let ops = stress_ops();
+    let done = AtomicBool::new(false);
+    let violations = AtomicU64::new(0);
+    std::thread::scope(|sc| {
+        let (index, done, violations) = (&index, &done, &violations);
+        let writer = sc.spawn(move || {
+            let mut rng = SplitMix64::new(0xAB5E11);
+            let mut inserts = 0u64;
+            while !done.load(Relaxed) && inserts < ops {
+                // Mostly hot-band keys: the interesting case is an
+                // insert aimed at the shard being restructured.
+                let k = if rng.next_below(4) < 3 {
+                    rng.next_below(400) as i64
+                } else {
+                    rng.next_below(40_000) as i64
+                };
+                let before = index.maintenance_stats().steps_executed;
+                index.insert(k, k);
+                let after = index.maintenance_stats().steps_executed;
+                if after - before > 2 {
+                    violations.fetch_add(1, Relaxed);
+                }
+                inserts += 1;
+            }
+            inserts
+        });
+        // Drain the plan step by step with pauses, like the
+        // background maintainer's tick budget. The pauses also make
+        // the steps-spanned assertion scheduler-robust on a 1-core
+        // host: with only these two threads alive, the writer is the
+        // sole runnable thread during every pause and completes its
+        // in-flight insert then, so an insert can overlap at most the
+        // step that blocked it plus the next one — observing three or
+        // more executed steps within one insert requires the insert
+        // to have actually waited across them.
+        while index.execute_step(&mut plan).is_some() {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        done.store(true, Relaxed);
+        assert!(writer.join().unwrap() > 0, "writer made no progress");
+    });
+    assert_eq!(
+        violations.load(Relaxed),
+        0,
+        "an insert overlapped more than one executed maintenance step"
+    );
+    let stats = index.maintenance_stats();
+    assert!(
+        stats.steps_executed + stats.steps_skipped > 0,
+        "the plan never drained: {stats:?}"
+    );
+    index.check_invariants();
 }
 
 proptest! {
