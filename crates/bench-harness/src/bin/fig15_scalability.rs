@@ -1,7 +1,7 @@
 //! Figure 15 (beyond the paper) — thread scalability of the sharded
 //! concurrent front-end.
 //!
-//! Pre-loads a [`ShardedRma`] with N elements, then drives an
+//! Pre-loads a sharded [`rma_db::Db`] with N elements, then drives an
 //! aggregate of N mixed operations (alternating insert / point
 //! lookup) from 1, 2, 4 and 8 client threads, for the uniform and
 //! Zipf(1.0) key patterns. Reports aggregate ops/s per thread count
@@ -14,7 +14,7 @@
 
 use bench_harness::{fmt_throughput, median_of, throughput, time, zipf_beta, Cli};
 use rma_core::RmaConfig;
-use rma_shard::{ShardConfig, ShardedRma};
+use rma_db::Db;
 use workloads::{KeyStream, Pattern};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -31,14 +31,11 @@ fn run_one(pattern: Pattern, threads: usize, cli: &Cli) -> f64 {
     median_of(cli.reps, || {
         let mut base = KeyStream::new(pattern, cli.seed).take_pairs(n);
         base.sort_unstable();
-        let index = ShardedRma::load_bulk(
-            ShardConfig {
-                num_shards: SHARDS,
-                rma: RmaConfig::with_segment_size(cli.seg),
-                ..Default::default()
-            },
-            &base,
-        );
+        let index = Db::builder()
+            .shards(SHARDS)
+            .rma(RmaConfig::with_segment_size(cli.seg))
+            .build_bulk(&base)
+            .expect("static driver config is valid");
         let per_thread = n / threads;
         let (_, secs) = time(|| {
             std::thread::scope(|sc| {

@@ -1,7 +1,7 @@
 //! Figure 16 (beyond the paper) — online splitter re-learning under a
 //! shifting hotspot.
 //!
-//! Drives a [`ShardedRma`] with the seeded shifting-hotspot workload
+//! Drives a [`rma_shard::ShardedRma`] with the seeded shifting-hotspot workload
 //! (a hammered band covering 1/64th of the key domain that jumps to a
 //! fresh position every phase) and compares maintenance modes over
 //! the same operation stream:
@@ -10,14 +10,14 @@
 //!   the key median, no re-learning ([`BalancePolicy::ByLen`]);
 //! * `relearn` — access-driven maintenance: split points from the
 //!   histogram CDF plus multi-way splitter re-learning
-//!   ([`ShardedRma::relearn_splitters`], incremental plan engine);
+//!   ([`rma_shard::ShardedRma::relearn_splitters`], incremental plan engine);
 //! * `nudge` (drift phase set only) — [`RelearnStrategy::NudgeOnly`]:
 //!   boundaries chase the band via single-pair migrations, never a
 //!   full rebuild — the cheap tracking mode a *drifting* hotspot
 //!   should reward.
 //!
 //! Each phase runs half its operations, calls
-//! [`maintain`](ShardedRma::maintain), resets the (measurement)
+//! [`maintain`](rma_shard::ShardedRma::maintain), resets the (measurement)
 //! histograms, runs the second half, and records the max/mean shard
 //! access imbalance of that second half — i.e. how well the topology
 //! fits the *current* hotspot after maintenance had one chance to
@@ -29,7 +29,8 @@
 
 use bench_harness::Cli;
 use rma_core::RmaConfig;
-use rma_shard::{BalancePolicy, RelearnStrategy, ShardConfig, ShardedRma};
+use rma_db::Db;
+use rma_shard::{BalancePolicy, RelearnStrategy, ShardConfig};
 use workloads::{HotspotConfig, HotspotMotion, ShiftingHotspot, SplitMix64};
 
 const SHARDS: usize = 8;
@@ -95,7 +96,12 @@ fn run_mode(cli: &Cli, mode: Mode, motion: HotspotMotion) -> Vec<PhaseRow> {
             .collect()
     };
     base.sort_unstable();
-    let index = ShardedRma::load_bulk(mode_config(cli, mode), &base);
+    let db = Db::builder()
+        .shard_config(mode_config(cli, mode))
+        .router_workers(1) // engine-only driver: no session traffic
+        .build_bulk(&base)
+        .expect("static driver config is valid");
+    let index = db.engine();
 
     let mut rows = Vec::new();
     let half = (phase_ops / 2).max(1);

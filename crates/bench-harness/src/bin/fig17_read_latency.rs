@@ -4,7 +4,7 @@
 //! The point of the optimistic read path (seqlock shards + epoch
 //! topology, PR 3) is that splitter re-learning and shard
 //! rebalancing no longer stall readers. This driver measures it: a
-//! 90/10 read/write mix runs against a preloaded [`ShardedRma`]
+//! 90/10 read/write mix runs against a preloaded [`rma_shard::ShardedRma`]
 //! under three maintenance regimes over the same operation stream —
 //!
 //! * `off` — maintenance never runs (the latency floor);
@@ -27,8 +27,8 @@
 
 use bench_harness::Cli;
 use rma_core::RmaConfig;
-use rma_shard::{MaintainerConfig, ShardConfig, ShardedRma};
-use std::sync::Arc;
+use rma_db::Db;
+use rma_shard::{MaintainerConfig, ShardConfig};
 use std::time::{Duration, Instant};
 use workloads::{
     drive_recorded, summarize, HotspotConfig, HotspotMotion, LatencySummary, ReadWriteMix,
@@ -85,7 +85,7 @@ struct Row {
     shards_after: usize,
 }
 
-fn preloaded(cli: &Cli) -> Arc<ShardedRma> {
+fn preloaded(cli: &Cli, mode: Mode) -> Db {
     let cfg = ShardConfig {
         num_shards: SHARDS,
         rma: RmaConfig::with_segment_size(cli.seg),
@@ -99,7 +99,20 @@ fn preloaded(cli: &Cli) -> Arc<ShardedRma> {
             .collect()
     };
     base.sort_unstable();
-    Arc::new(ShardedRma::load_bulk(cfg, &base))
+    let mut builder = Db::builder().shard_config(cfg);
+    if mode == Mode::Background {
+        // The facade owns the maintainer: it starts with the handle
+        // and is stopped deterministically before the row is read.
+        builder = builder.maintenance(MaintainerConfig {
+            poll_interval: Duration::from_millis(5),
+            imbalance_trigger: 1.25,
+            min_ops_between: 2048,
+            ..Default::default()
+        });
+    }
+    builder
+        .build_bulk(&base)
+        .expect("static driver config is valid")
 }
 
 /// Key source for one run: a boxed closure so both distributions fit
@@ -125,26 +138,18 @@ fn key_source(cli: &Cli, dist: Dist, ops: u64) -> Box<dyn FnMut() -> i64> {
 }
 
 fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
-    let index = preloaded(cli);
+    let db = preloaded(cli, mode);
     let ops = cli.scale as u64;
     let mut mix = ReadWriteMix::new(
         key_source(cli, dist, ops),
         READ_FRACTION,
         cli.seed ^ 0xC01D_C0FE,
     );
-    let maintainer = (mode == Mode::Background).then(|| {
-        index.start_maintainer(MaintainerConfig {
-            poll_interval: Duration::from_millis(5),
-            imbalance_trigger: 1.25,
-            min_ops_between: 2048,
-            ..Default::default()
-        })
-    });
 
     let maint_every = (ops / INLINE_MAINTS).max(1);
     let mut inline_runs = 0u64;
     let mut inline_relearns = 0u64;
-    let idx = &*index;
+    let idx = db.engine();
     let mut log = drive_recorded(
         ops,
         &mut mix,
@@ -165,14 +170,13 @@ fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
         },
     );
 
-    let (maintain_runs, relearns) = match maintainer {
-        Some(m) => {
-            let stats = m.stop();
-            (stats.runs(), stats.relearns())
-        }
+    // Quiesce the background maintainer (no-op in the other modes)
+    // so the row reports final counters over a stable topology.
+    let (maintain_runs, relearns) = match db.stop_maintenance() {
+        Some(stats) => (stats.runs, stats.relearns),
         None => (inline_runs, inline_relearns),
     };
-    index.check_invariants();
+    idx.check_invariants();
     Row {
         dist,
         mode,
@@ -180,7 +184,7 @@ fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
         writes: summarize(&mut log.writes),
         maintain_runs,
         relearns,
-        shards_after: index.num_shards(),
+        shards_after: idx.num_shards(),
     }
 }
 

@@ -11,7 +11,7 @@
 //! step touching its shard. This driver measures exactly that: an
 //! insert-only shifting-hotspot stream (whose jumping hot band forces
 //! re-learning mid-measurement) runs against a preloaded
-//! [`ShardedRma`] under three maintenance regimes over the same
+//! [`rma_shard::ShardedRma`] under three maintenance regimes over the same
 //! operation stream —
 //!
 //! * `off` — maintenance never runs (the latency floor);
@@ -38,8 +38,8 @@
 
 use bench_harness::Cli;
 use rma_core::RmaConfig;
-use rma_shard::{MaintainerConfig, RelearnStrategy, ShardConfig, ShardedRma};
-use std::sync::Arc;
+use rma_db::Db;
+use rma_shard::{MaintainerConfig, RelearnStrategy, ShardConfig};
 use std::time::Duration;
 use workloads::{
     drive_recorded, summarize, HotspotConfig, HotspotMotion, LatencySummary, ReadWriteMix,
@@ -81,7 +81,7 @@ struct Row {
     shards_after: usize,
 }
 
-fn preloaded(cli: &Cli, mode: Mode) -> Arc<ShardedRma> {
+fn preloaded(cli: &Cli, mode: Mode) -> Db {
     let cfg = ShardConfig {
         num_shards: SHARDS,
         // Per-shard reservations sized for a sharded deployment: the
@@ -122,25 +122,9 @@ fn preloaded(cli: &Cli, mode: Mode) -> Arc<ShardedRma> {
             .collect()
     };
     base.sort_unstable();
-    Arc::new(ShardedRma::load_bulk(cfg, &base))
-}
-
-fn run(cli: &Cli, mode: Mode) -> Row {
-    let index = preloaded(cli, mode);
-    let ops = cli.scale as u64;
-    // Insert-only mix over the jumping hot band: every op is a write,
-    // so the recorded distribution *is* the insert tail.
-    let mut hs = ShiftingHotspot::new(
-        HotspotConfig {
-            phase_len: (ops / PHASES).max(1),
-            motion: HotspotMotion::Jump,
-            ..Default::default()
-        },
-        cli.seed,
-    );
-    let mut mix = ReadWriteMix::new(move || hs.next_key(), 0.0, cli.seed ^ 0xC01D_C0FE);
-    let maintainer = (mode != Mode::Off).then(|| {
-        index.start_maintainer(MaintainerConfig {
+    let mut builder = Db::builder().shard_config(cfg);
+    if mode != Mode::Off {
+        builder = builder.maintenance(MaintainerConfig {
             poll_interval: Duration::from_millis(2),
             imbalance_trigger: 1.5,
             // React and drain quickly: the shorter the window between
@@ -154,21 +138,37 @@ fn run(cli: &Cli, mode: Mode) -> Row {
             // the previous step always drains fully before the next
             // one can lock anything.
             step_pause: Duration::from_millis(2),
-        })
-    });
+        });
+    }
+    builder
+        .build_bulk(&base)
+        .expect("static driver config is valid")
+}
 
-    let idx = &*index;
+fn run(cli: &Cli, mode: Mode) -> Row {
+    let db = preloaded(cli, mode);
+    let ops = cli.scale as u64;
+    // Insert-only mix over the jumping hot band: every op is a write,
+    // so the recorded distribution *is* the insert tail.
+    let mut hs = ShiftingHotspot::new(
+        HotspotConfig {
+            phase_len: (ops / PHASES).max(1),
+            motion: HotspotMotion::Jump,
+            ..Default::default()
+        },
+        cli.seed,
+    );
+    let mut mix = ReadWriteMix::new(move || hs.next_key(), 0.0, cli.seed ^ 0xC01D_C0FE);
+
+    let idx = db.engine();
     let mut log = drive_recorded(ops, &mut mix, |_| {}, |k, v| idx.insert(k, v), |_| 0);
 
-    let (maintain_runs, relearns) = match maintainer {
-        Some(m) => {
-            let stats = m.stop();
-            (stats.runs(), stats.relearns())
-        }
+    let (maintain_runs, relearns) = match db.stop_maintenance() {
+        Some(stats) => (stats.runs, stats.relearns),
         None => (0, 0),
     };
-    index.check_invariants();
-    let mstats = index.maintenance_stats();
+    idx.check_invariants();
+    let mstats = idx.maintenance_stats();
     Row {
         mode,
         writes: summarize(&mut log.writes),
@@ -178,7 +178,7 @@ fn run(cli: &Cli, mode: Mode) -> Row {
         keys_migrated: mstats.keys_migrated,
         max_step_wall_ns: mstats.max_step_wall_ns,
         topologies_published: mstats.topologies_published,
-        shards_after: index.num_shards(),
+        shards_after: idx.num_shards(),
     }
 }
 

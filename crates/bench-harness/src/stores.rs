@@ -5,7 +5,7 @@ use abtree::{AbTree, AbTreeConfig, DenseArray};
 use art::ArtTree;
 use pma_baseline::{Tpma, TpmaConfig};
 use rma_core::{Rma, RmaConfig};
-use rma_shard::{ShardConfig, ShardedRma};
+use rma_db::Db;
 
 /// Key/value scalar type of the reproduction.
 pub type Key = i64;
@@ -128,31 +128,31 @@ impl Store for Tpma {
     }
 }
 
-impl Store for ShardedRma {
+impl Store for Db {
     fn label(&self) -> String {
         format!(
             "Sharded-RMA n={} B={}",
-            self.num_shards(),
-            self.config().rma.segment_size
+            self.engine().num_shards(),
+            self.engine().config().rma.segment_size
         )
     }
     fn insert(&mut self, k: Key, v: Value) {
-        ShardedRma::insert(self, k, v)
+        Db::insert(self, k, v)
     }
     fn remove_successor(&mut self, k: Key) -> bool {
-        ShardedRma::remove_successor(self, k).is_some()
+        Db::remove_successor(self, k).is_some()
     }
     fn get(&self, k: Key) -> Option<Value> {
-        ShardedRma::get(self, k)
+        Db::get(self, k)
     }
     fn sum_range(&self, start: Key, count: usize) -> (usize, i64) {
-        ShardedRma::sum_range(self, start, count)
+        Db::sum_range(self, start, count)
     }
     fn len(&self) -> usize {
-        ShardedRma::len(self)
+        Db::len(self)
     }
     fn footprint(&self) -> usize {
-        self.memory_footprint()
+        self.engine().memory_footprint()
     }
 }
 
@@ -170,15 +170,18 @@ pub fn rma_factory(b: usize, rewired: bool, adaptive: bool) -> StoreFactory {
     })
 }
 
-/// Sharded-RMA factory: `shards` shards of segment-size-`b` RMAs with
-/// splitters spread over the uniform key domain.
+/// Sharded-RMA factory: a [`Db`] of `shards` shards of
+/// segment-size-`b` RMAs with splitters spread over the uniform key
+/// domain, built through the facade's validating builder.
 pub fn sharded_rma_factory(b: usize, shards: usize) -> StoreFactory {
     Box::new(move || {
-        Box::new(ShardedRma::new(ShardConfig {
-            num_shards: shards,
-            rma: RmaConfig::with_segment_size(b),
-            ..Default::default()
-        }))
+        Box::new(
+            Db::builder()
+                .shards(shards)
+                .rma(RmaConfig::with_segment_size(b))
+                .build()
+                .expect("static factory config is valid"),
+        )
     })
 }
 

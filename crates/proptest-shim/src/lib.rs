@@ -195,7 +195,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: a fixed count or a
+    /// Element-count specification for [`vec()`]: a fixed count or a
     /// half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -108,23 +108,85 @@ impl RmaConfig {
     }
 
     /// Validates parameter sanity; called by [`crate::Rma::new`].
+    /// Panicking form of [`try_validate`](Self::try_validate).
     pub fn validate(&self) {
-        assert!(self.segment_size >= 4, "segment size must be >= 4");
-        assert!(
-            self.segment_size.is_power_of_two(),
-            "segment size must be a power of two"
-        );
-        assert!(self.index_fanout >= 2, "index fanout must be >= 2");
-        self.thresholds.validate();
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks parameter sanity without panicking, so builder-style
+    /// front-ends can reject a bad configuration with a typed error
+    /// before any construction work starts.
+    pub fn try_validate(&self) -> Result<(), RmaConfigError> {
+        if self.segment_size < 4 {
+            return Err(RmaConfigError::SegmentTooSmall(self.segment_size));
+        }
+        if !self.segment_size.is_power_of_two() {
+            return Err(RmaConfigError::SegmentNotPowerOfTwo(self.segment_size));
+        }
+        if self.index_fanout < 2 {
+            return Err(RmaConfigError::FanoutTooSmall(self.index_fanout));
+        }
+        self.thresholds
+            .try_validate()
+            .map_err(RmaConfigError::Thresholds)?;
         if let RewiringMode::Enabled { page_bytes } = self.rewiring {
-            assert!(
-                page_bytes.is_power_of_two(),
-                "page size must be a power of two"
-            );
-            assert!(page_bytes >= 4096, "page size must be >= 4 KiB");
+            if !page_bytes.is_power_of_two() {
+                return Err(RmaConfigError::PageNotPowerOfTwo(page_bytes));
+            }
+            if page_bytes < 4096 {
+                return Err(RmaConfigError::PageTooSmall(page_bytes));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`RmaConfig`] parameter, as reported by
+/// [`RmaConfig::try_validate`]. The `Display` text doubles as the
+/// panic message of the asserting [`RmaConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaConfigError {
+    /// Segment capacity below the minimum of 4 elements.
+    SegmentTooSmall(usize),
+    /// Segment capacity is not a power of two.
+    SegmentNotPowerOfTwo(usize),
+    /// Static-index fanout below 2.
+    FanoutTooSmall(usize),
+    /// Density thresholds violate the designer ordering; the message
+    /// names the broken rule.
+    Thresholds(&'static str),
+    /// Rewiring page size is not a power of two.
+    PageNotPowerOfTwo(usize),
+    /// Rewiring page size below 4 KiB.
+    PageTooSmall(usize),
+}
+
+impl std::fmt::Display for RmaConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RmaConfigError::SegmentTooSmall(b) => {
+                write!(f, "segment size must be >= 4 (got {b})")
+            }
+            RmaConfigError::SegmentNotPowerOfTwo(b) => {
+                write!(f, "segment size must be a power of two (got {b})")
+            }
+            RmaConfigError::FanoutTooSmall(n) => {
+                write!(f, "index fanout must be >= 2 (got {n})")
+            }
+            RmaConfigError::Thresholds(reason) => f.write_str(reason),
+            RmaConfigError::PageNotPowerOfTwo(b) => {
+                write!(f, "page size must be a power of two (got {b})")
+            }
+            RmaConfigError::PageTooSmall(b) => {
+                write!(f, "page size must be >= 4 KiB (got {b})")
+            }
         }
     }
 }
+
+impl std::error::Error for RmaConfigError {}
 
 #[cfg(test)]
 mod tests {

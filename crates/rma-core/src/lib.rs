@@ -53,7 +53,7 @@ pub mod stats;
 pub mod storage;
 pub mod thresholds;
 
-pub use config::{RewiringMode, RmaConfig};
+pub use config::{RewiringMode, RmaConfig, RmaConfigError};
 pub use detector::DetectorConfig;
 pub use index::StaticIndex;
 pub use rma::Rma;

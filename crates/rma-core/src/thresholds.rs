@@ -68,20 +68,33 @@ impl Thresholds {
 
     /// Validates the designer ordering `0 ≤ ρ₁ < ρ_h ≤ τ_h < τ₁ ≤ 1`
     /// (with `ρ₁ = ρ_h` tolerated for degenerate configurations).
+    /// Panicking form of [`try_validate`](Self::try_validate).
     pub fn validate(&self) {
-        assert!(
-            self.rho_1 >= 0.0 && self.tau_1 <= 1.0,
-            "thresholds out of [0,1]"
-        );
-        assert!(self.rho_1 <= self.rho_h, "rho_1 must be <= rho_h");
-        assert!(self.rho_h <= self.tau_h, "rho_h must be <= tau_h");
-        assert!(self.tau_h < self.tau_1, "tau_h must be < tau_1");
-        if self.policy == ResizePolicy::Double {
-            assert!(
-                2.0 * self.rho_h <= self.tau_h,
-                "doubling requires 2*rho_h <= tau_h for consistency"
-            );
+        if let Err(reason) = self.try_validate() {
+            panic!("{reason}");
         }
+    }
+
+    /// Checks the designer ordering without panicking, returning the
+    /// violated rule so construction-time validators can surface a
+    /// typed error instead of aborting deep inside a constructor.
+    pub fn try_validate(&self) -> Result<(), &'static str> {
+        if !(self.rho_1 >= 0.0 && self.tau_1 <= 1.0) {
+            return Err("thresholds out of [0,1]");
+        }
+        if self.rho_1 > self.rho_h {
+            return Err("rho_1 must be <= rho_h");
+        }
+        if self.rho_h > self.tau_h {
+            return Err("rho_h must be <= tau_h");
+        }
+        if self.tau_h >= self.tau_1 {
+            return Err("tau_h must be < tau_1");
+        }
+        if self.policy == ResizePolicy::Double && 2.0 * self.rho_h > self.tau_h {
+            return Err("doubling requires 2*rho_h <= tau_h for consistency");
+        }
+        Ok(())
     }
 
     /// Upper density bound at `level` (1-based) of a calibrator tree

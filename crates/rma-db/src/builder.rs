@@ -1,0 +1,238 @@
+//! [`DbBuilder`]: the one entry point for configuring and opening a
+//! [`Db`], with every input validated up front.
+
+use crate::Db;
+use rma_core::{Key, RmaConfig, Value};
+use rma_shard::{
+    BalancePolicy, MaintainerConfig, RelearnStrategy, ShardConfig, ShardedRma, Splitters,
+};
+
+/// A rejected [`DbBuilder`] input. Engine-level violations (shard,
+/// maintainer and per-shard-RMA parameters) carry the inner layer's
+/// typed error; the router's own knob has its own variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A [`ShardConfig`], [`MaintainerConfig`] or
+    /// [`RmaConfig`] parameter was rejected by the engine layer.
+    Engine(rma_shard::ConfigError),
+    /// `router_workers == 0`: submitted batches could never execute.
+    ZeroRouterWorkers,
+    /// Explicit splitter keys combined with a constructor that learns
+    /// its own splitters ([`DbBuilder::build_bulk`] /
+    /// [`DbBuilder::build_from_sample`]) — one of the two must win,
+    /// so the combination is rejected rather than silently ignored.
+    SplittersConflictWithLearned,
+    /// Explicit splitter keys are not strictly increasing (unsorted
+    /// or duplicated), so they cannot partition the key space.
+    UnsortedSplitterKeys,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Engine(e) => e.fmt(f),
+            ConfigError::ZeroRouterWorkers => f.write_str("need at least one router worker"),
+            ConfigError::SplittersConflictWithLearned => f.write_str(
+                "explicit splitter keys conflict with a constructor that \
+                 learns splitters from its input",
+            ),
+            ConfigError::UnsortedSplitterKeys => {
+                f.write_str("explicit splitter keys must be strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<rma_shard::ConfigError> for ConfigError {
+    fn from(e: rma_shard::ConfigError) -> Self {
+        ConfigError::Engine(e)
+    }
+}
+
+/// Fluent configuration for a [`Db`]. Obtain one with
+/// [`Db::builder`], chain the knobs you care about, and finish with
+/// [`build`](Self::build) (empty), [`build_bulk`](Self::build_bulk)
+/// (sorted batch, splitters learned from its quantiles) or
+/// [`build_from_sample`](Self::build_from_sample) (splitters learned
+/// from a key sample). Every finisher validates *all* inputs first
+/// and returns a typed [`ConfigError`] — nothing panics
+/// mid-construction and no thread spawns on a rejected
+/// configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DbBuilder {
+    shard: ShardConfig,
+    splitter_keys: Option<Vec<Key>>,
+    maintenance: Option<MaintainerConfig>,
+    router_workers: Option<usize>,
+}
+
+impl DbBuilder {
+    /// Target shard count (default 8).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shard.num_shards = n;
+        self
+    }
+
+    /// Per-shard RMA configuration (segment size, rewiring,
+    /// thresholds, adaptivity...).
+    pub fn rma(mut self, rma: RmaConfig) -> Self {
+        self.shard.rma = rma;
+        self
+    }
+
+    /// Replaces the whole engine configuration — the escape hatch for
+    /// knobs without a dedicated builder method.
+    pub fn shard_config(mut self, cfg: ShardConfig) -> Self {
+        self.shard = cfg;
+        self
+    }
+
+    /// What maintenance balances on: access mass (default) or length.
+    pub fn balance(mut self, policy: BalancePolicy) -> Self {
+        self.shard.balance = policy;
+        self
+    }
+
+    /// Buckets per shard in the access histogram.
+    pub fn hist_buckets(mut self, n: usize) -> Self {
+        self.shard.hist_buckets = n;
+        self
+    }
+
+    /// Operations between global histogram halvings (`0` disables
+    /// decay).
+    pub fn decay_every(mut self, ops: u64) -> Self {
+        self.shard.decay_every = ops;
+        self
+    }
+
+    /// Adaptive decay half-life in seconds (see
+    /// [`ShardConfig::adaptive_decay`]).
+    pub fn adaptive_decay(mut self, half_life_secs: f64) -> Self {
+        self.shard.adaptive_decay = Some(half_life_secs);
+        self
+    }
+
+    /// Whether maintenance re-learns splitters from the access
+    /// histogram (default on).
+    pub fn relearn(mut self, on: bool) -> Self {
+        self.shard.relearn = on;
+        self
+    }
+
+    /// How re-learning restructures the topology (incremental plan
+    /// engine by default).
+    pub fn relearn_strategy(mut self, strategy: RelearnStrategy) -> Self {
+        self.shard.relearn_strategy = strategy;
+        self
+    }
+
+    /// Shards shorter than this never split.
+    pub fn min_split_len(mut self, n: usize) -> Self {
+        self.shard.min_split_len = n;
+        self
+    }
+
+    /// Upper bound on the elements one incremental maintenance step
+    /// may rebuild — the writer-stall bound.
+    pub fn max_step_elems(mut self, n: usize) -> Self {
+        self.shard.max_step_elems = n;
+        self
+    }
+
+    /// Shard-length backstop: any shard past this many elements is
+    /// split regardless of access balance (latency-SLO deployments).
+    pub fn max_shard_len(mut self, n: usize) -> Self {
+        self.shard.max_shard_len = Some(n);
+        self
+    }
+
+    /// Explicit splitter keys for [`build`](Self::build) instead of
+    /// uniformly spread ones.
+    pub fn splitter_keys(mut self, keys: Vec<Key>) -> Self {
+        self.splitter_keys = Some(keys);
+        self
+    }
+
+    /// Enables background maintenance with this cadence: the [`Db`]
+    /// starts the maintainer thread at open and owns its lifecycle —
+    /// it stops when the handle drops (or on
+    /// [`Db::stop_maintenance`]). Without this call no background
+    /// thread runs; maintenance can still be driven explicitly
+    /// through [`Db::engine`].
+    pub fn maintenance(mut self, cfg: MaintainerConfig) -> Self {
+        self.maintenance = Some(cfg);
+        self
+    }
+
+    /// Router worker thread count. Default:
+    /// `min(available_parallelism, num_shards)`.
+    pub fn router_workers(mut self, n: usize) -> Self {
+        self.router_workers = Some(n);
+        self
+    }
+
+    /// Validates every input and resolves the worker count.
+    fn validate(&self) -> Result<usize, ConfigError> {
+        self.shard.try_validate()?;
+        if let Some(m) = &self.maintenance {
+            m.try_validate()?;
+        }
+        if let Some(keys) = &self.splitter_keys {
+            if !keys.windows(2).all(|w| w[0] < w[1]) {
+                return Err(ConfigError::UnsortedSplitterKeys);
+            }
+        }
+        match self.router_workers {
+            Some(0) => Err(ConfigError::ZeroRouterWorkers),
+            Some(n) => Ok(n),
+            None => {
+                let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                Ok(hw.min(self.shard.num_shards).max(1))
+            }
+        }
+    }
+
+    /// Opens an empty database (splitters from
+    /// [`splitter_keys`](Self::splitter_keys), or spread uniformly
+    /// over the positive key domain).
+    pub fn build(self) -> Result<Db, ConfigError> {
+        let workers = self.validate()?;
+        let engine = match self.splitter_keys {
+            Some(keys) => ShardedRma::with_splitters(self.shard, Splitters::new(keys)),
+            None => ShardedRma::new(self.shard),
+        };
+        Ok(Db::assemble(engine, workers, self.maintenance))
+    }
+
+    /// Opens a database bulk-loaded from a batch sorted by key;
+    /// splitters are learned from the batch quantiles so the shards
+    /// start balanced.
+    pub fn build_bulk(self, batch: &[(Key, Value)]) -> Result<Db, ConfigError> {
+        let workers = self.validate()?;
+        if self.splitter_keys.is_some() {
+            return Err(ConfigError::SplittersConflictWithLearned);
+        }
+        Ok(Db::assemble(
+            ShardedRma::load_bulk(self.shard, batch),
+            workers,
+            self.maintenance,
+        ))
+    }
+
+    /// Opens an empty database with splitters learned from a key
+    /// sample (the sample is sorted in place).
+    pub fn build_from_sample(self, sample: &mut [Key]) -> Result<Db, ConfigError> {
+        let workers = self.validate()?;
+        if self.splitter_keys.is_some() {
+            return Err(ConfigError::SplittersConflictWithLearned);
+        }
+        Ok(Db::assemble(
+            ShardedRma::from_sample(self.shard, sample),
+            workers,
+            self.maintenance,
+        ))
+    }
+}

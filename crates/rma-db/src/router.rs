@@ -1,0 +1,166 @@
+//! The channel-based request router: shard-affine worker threads
+//! draining [`WorkItem`]s into the engine.
+//!
+//! One `std::sync::mpsc` channel per worker; a
+//! [`Session`](crate::Session) partitions each submitted batch by
+//! the shard its keys route to and appends every shard's chunk to
+//! the worker owning that shard range. Workers execute their chunk's
+//! operations in order against the shared
+//! [`ShardedRma`](rma_shard::ShardedRma) and fill the batch's ticket
+//! slots in one lock acquisition, so the per-operation overhead on
+//! top of the engine call is a vector push.
+//!
+//! Shutdown is structural: dropping the router drops every sender,
+//! each worker drains what is already queued (tickets never leak
+//! incomplete) and exits when its channel disconnects, and the drop
+//! joins the threads.
+
+use crate::session::{Op, Reply, TicketState};
+use rma_shard::ShardedRma;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One worker's share of a submitted batch: the ticket to fill and
+/// the operations routed to this worker.
+pub(crate) struct WorkItem {
+    pub(crate) ticket: Arc<TicketState>,
+    pub(crate) chunk: WorkChunk,
+}
+
+/// The two routing shapes of a chunk. `Whole` is the hot path — the
+/// batch routed to a single worker (always, with one worker; often,
+/// with shard-affine batches) — and carries the ops in submission
+/// order with no slot bookkeeping.
+pub(crate) enum WorkChunk {
+    /// The entire batch, in submission order.
+    Whole(Vec<Op>),
+    /// A shard-routed subset as (slot, op) pairs.
+    Partial(Vec<(u32, Op)>),
+}
+
+/// Router lifetime counters (all monotonic), surfaced through
+/// [`DbSnapshot::router`](crate::DbSnapshot).
+#[derive(Debug, Default)]
+pub(crate) struct RouterCounters {
+    pub(crate) sessions: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) ops_submitted: AtomicU64,
+    pub(crate) ops_executed: AtomicU64,
+}
+
+/// The worker fleet: senders handed to sessions, join handles owned
+/// here. Lives inside [`Db`](crate::Db).
+pub(crate) struct Router {
+    /// Behind a mutex only so `Db` stays `Sync` on toolchains where
+    /// `mpsc::Sender` is not; sessions clone the senders out once at
+    /// open.
+    senders: Mutex<Vec<Sender<WorkItem>>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<RouterCounters>,
+}
+
+impl Router {
+    /// Spawns `workers` threads executing against `engine`.
+    pub(crate) fn start(engine: &Arc<ShardedRma>, workers: usize) -> Router {
+        debug_assert!(workers >= 1, "validated by the builder");
+        let counters = Arc::new(RouterCounters::default());
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<WorkItem>();
+            let engine = Arc::clone(engine);
+            let counters = Arc::clone(&counters);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rma-db-router-{w}"))
+                    .spawn(move || worker_loop(&engine, &rx, &counters))
+                    .expect("spawn router worker"),
+            );
+            senders.push(tx);
+        }
+        Router {
+            senders: Mutex::new(senders),
+            workers: handles,
+            counters,
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn counters(&self) -> &Arc<RouterCounters> {
+        &self.counters
+    }
+
+    /// Clones the sender set for a fresh session.
+    pub(crate) fn clone_senders(&self) -> Vec<Sender<WorkItem>> {
+        self.senders.lock().expect("router lock poisoned").clone()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.senders.lock().expect("router lock poisoned").clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(engine: &ShardedRma, rx: &Receiver<WorkItem>, counters: &RouterCounters) {
+    while let Ok(WorkItem { ticket, chunk }) = rx.recv() {
+        // An engine panic mid-chunk must not strand the batch's
+        // waiters on the condvar forever: poison the ticket so
+        // `wait()` propagates the failure, and keep this worker
+        // serving the other queued batches.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match chunk {
+            WorkChunk::Whole(ops) => {
+                let n = ops.len() as u64;
+                let replies = ops.into_iter().map(|op| exec(engine, op)).collect();
+                counters.ops_executed.fetch_add(n, Relaxed);
+                ticket.complete_whole(replies);
+            }
+            WorkChunk::Partial(ops) => {
+                let mut filled = Vec::with_capacity(ops.len());
+                for (slot, op) in ops {
+                    filled.push((slot, exec(engine, op)));
+                }
+                counters
+                    .ops_executed
+                    .fetch_add(filled.len() as u64, Relaxed);
+                ticket.complete(filled);
+            }
+        }));
+        if outcome.is_err() {
+            ticket.poison();
+        }
+    }
+}
+
+/// Executes one typed operation against the engine — the single
+/// mapping between the router's [`Op`] surface and the engine's
+/// data-plane methods (the direct-call path in [`Db`](crate::Db)
+/// uses the same engine methods, so the two surfaces cannot drift).
+pub(crate) fn exec(engine: &ShardedRma, op: Op) -> Reply {
+    match op {
+        Op::Get(k) => Reply::Found(engine.get(k)),
+        Op::Insert(k, v) => {
+            engine.insert(k, v);
+            Reply::Inserted
+        }
+        Op::Remove(k) => Reply::Removed(engine.remove(k)),
+        Op::SumRange { start, count } => {
+            let (visited, sum) = engine.sum_range(start, count);
+            Reply::Sum { visited, sum }
+        }
+        Op::FirstGe(k) => Reply::Entry(engine.first_ge(k)),
+        Op::Scan { start, count } => {
+            let mut out = Vec::new();
+            engine.scan(start, count, |k, v| out.push((k, v)));
+            Reply::Entries(out)
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Sessions, typed operations and tickets — the pipelined client
+//! surface of the [`Db`](crate::Db) request router.
+//!
+//! A [`Session`] is one client's conversation with the database:
+//! [`Session::submit`] hands a batch of typed [`Op`]s to the router's
+//! shard-affine worker threads and returns a [`Ticket`] immediately,
+//! so a client can keep several batches in flight (pipelining) and
+//! collect the [`Reply`] sets later with [`Ticket::wait`] /
+//! [`Ticket::try_wait`]. Everything is hand-rolled on `std` channels
+//! and condvars — no async runtime, no registry dependencies.
+//!
+//! # Ordering contract
+//!
+//! Operations inside one submit that route to the same worker (in
+//! particular: all operations on the same key) execute in submission
+//! order, and successive submits on one session preserve that
+//! per-worker FIFO order. Operations that land on *different*
+//! workers may interleave with each other and with other sessions —
+//! the same per-shard consistency the engine itself provides. For a
+//! strict happens-before edge between two batches, `wait()` the
+//! first ticket before submitting the second.
+
+use crate::router::{RouterCounters, WorkChunk, WorkItem};
+use rma_core::{Key, Value};
+use rma_shard::{ShardedRma, Splitters};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Submits between refreshes of a session's cached routing snapshot;
+/// background maintenance moves splitters rarely, and a stale
+/// snapshot only costs affinity (a misrouted op still executes
+/// correctly — every worker runs against the same engine).
+const ROUTING_REFRESH: u32 = 64;
+
+/// One typed operation of a [`Session::submit`] batch. The variants
+/// mirror the engine's data-plane surface one to one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup; answered with [`Reply::Found`].
+    Get(Key),
+    /// Insert of a pair (duplicates kept); answered with
+    /// [`Reply::Inserted`].
+    Insert(Key, Value),
+    /// Remove one element with exactly this key; answered with
+    /// [`Reply::Removed`].
+    Remove(Key),
+    /// Sum up to `count` values from the first key `>= start`;
+    /// answered with [`Reply::Sum`].
+    SumRange {
+        /// First key considered.
+        start: Key,
+        /// Maximum elements visited.
+        count: usize,
+    },
+    /// First element with key `>=` the probe; answered with
+    /// [`Reply::Entry`].
+    FirstGe(Key),
+    /// Collect up to `count` elements in key order from the first key
+    /// `>= start`; answered with [`Reply::Entries`]. The reply buffers
+    /// the visited elements, so keep `count` moderate.
+    Scan {
+        /// First key considered.
+        start: Key,
+        /// Maximum elements visited (and buffered into the reply).
+        count: usize,
+    },
+}
+
+impl Op {
+    /// The key the router uses for shard-affine placement (range ops
+    /// route by their start key, like the engine's stitched reads).
+    pub(crate) fn routing_key(&self) -> Key {
+        match *self {
+            Op::Get(k) | Op::Insert(k, _) | Op::Remove(k) | Op::FirstGe(k) => k,
+            Op::SumRange { start, .. } | Op::Scan { start, .. } => start,
+        }
+    }
+}
+
+/// The answer to one [`Op`], in the ticket slot matching the op's
+/// position in the submitted batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// [`Op::Get`]: the value, if the key was present.
+    Found(Option<Value>),
+    /// [`Op::Insert`]: the insert happened (inserts cannot fail).
+    Inserted,
+    /// [`Op::Remove`]: the removed value, if the key was present.
+    Removed(Option<Value>),
+    /// [`Op::SumRange`]: elements visited and their value sum.
+    Sum {
+        /// Elements visited.
+        visited: usize,
+        /// Wrapping sum of the visited values.
+        sum: i64,
+    },
+    /// [`Op::FirstGe`]: the successor pair, if any key qualified.
+    Entry(Option<(Key, Value)>),
+    /// [`Op::Scan`]: the visited pairs in key order.
+    Entries(Vec<(Key, Value)>),
+}
+
+/// Completion state shared between a [`Ticket`] and the router
+/// workers filling its slots.
+pub(crate) struct TicketState {
+    slots: Mutex<TicketSlots>,
+    done: Condvar,
+}
+
+struct TicketSlots {
+    total: usize,
+    remaining: usize,
+    /// Set when a worker panicked while executing this batch: waiters
+    /// must propagate the failure instead of blocking forever.
+    poisoned: bool,
+    /// Fast path: the batch routed to one worker, which executed it
+    /// in submission order and published the reply vector wholesale —
+    /// no slot bookkeeping at all.
+    whole: Option<Vec<Reply>>,
+    /// General path: sparse slot storage, sized lazily on the first
+    /// partial completion (a whole-batch completion never touches
+    /// it).
+    sparse: Vec<Option<Reply>>,
+}
+
+impl TicketSlots {
+    fn take_replies(&mut self) -> Vec<Reply> {
+        debug_assert_eq!(self.remaining, 0);
+        match self.whole.take() {
+            Some(replies) => replies,
+            None => self
+                .sparse
+                .iter_mut()
+                .map(|r| r.take().expect("complete ticket has every reply"))
+                .collect(),
+        }
+    }
+}
+
+impl TicketState {
+    pub(crate) fn new(n: usize) -> Self {
+        TicketState {
+            slots: Mutex::new(TicketSlots {
+                total: n,
+                remaining: n,
+                poisoned: false,
+                whole: None,
+                sparse: Vec::new(),
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Marks the batch as failed (a worker panicked executing it) and
+    /// wakes waiters so they propagate the failure instead of
+    /// blocking forever.
+    pub(crate) fn poison(&self) {
+        let mut s = self.slots.lock().expect("ticket lock poisoned");
+        s.poisoned = true;
+        self.done.notify_all();
+    }
+
+    /// Publishes the replies of a chunk that covered the whole batch
+    /// in submission order — one move, no per-slot work.
+    pub(crate) fn complete_whole(&self, replies: Vec<Reply>) {
+        let mut s = self.slots.lock().expect("ticket lock poisoned");
+        debug_assert_eq!(replies.len(), s.total, "whole chunk must cover the batch");
+        s.remaining -= replies.len();
+        s.whole = Some(replies);
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Fills a worker's chunk of slots in one lock acquisition and
+    /// wakes waiters when the batch is complete.
+    pub(crate) fn complete(&self, filled: Vec<(u32, Reply)>) {
+        let mut s = self.slots.lock().expect("ticket lock poisoned");
+        if s.sparse.is_empty() {
+            let n = s.total;
+            s.sparse = (0..n).map(|_| None).collect();
+        }
+        s.remaining -= filled.len();
+        for (slot, reply) in filled {
+            let prev = s.sparse[slot as usize].replace(reply);
+            debug_assert!(prev.is_none(), "slot {slot} completed twice");
+        }
+        if s.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A claim on the replies of one submitted batch. Collect with
+/// [`wait`](Self::wait) (blocking) or [`try_wait`](Self::try_wait)
+/// (non-blocking); dropping a ticket abandons the replies but the
+/// operations still execute.
+#[must_use = "the submitted operations' replies arrive through the ticket"]
+pub struct Ticket {
+    pub(crate) state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Operations in the batch this ticket tracks.
+    pub fn len(&self) -> usize {
+        self.state.slots.lock().expect("ticket lock poisoned").total
+    }
+
+    /// True for the ticket of an empty submit.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once every reply has arrived ([`wait`](Self::wait) would
+    /// return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.state
+            .slots
+            .lock()
+            .expect("ticket lock poisoned")
+            .remaining
+            == 0
+    }
+
+    /// Blocks until every operation of the batch has executed and
+    /// returns the replies in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a router-worker panic: if a worker died executing
+    /// this batch, `wait` panics instead of blocking forever.
+    pub fn wait(self) -> Vec<Reply> {
+        let mut s = self.state.slots.lock().expect("ticket lock poisoned");
+        while s.remaining > 0 && !s.poisoned {
+            s = self.state.done.wait(s).expect("ticket lock poisoned");
+        }
+        assert!(
+            !s.poisoned,
+            "a router worker panicked while executing this batch"
+        );
+        s.take_replies()
+    }
+
+    /// Returns the replies if the batch already completed, or hands
+    /// the ticket back to try again later. Panics (like
+    /// [`wait`](Self::wait)) if a router worker died executing the
+    /// batch.
+    pub fn try_wait(self) -> Result<Vec<Reply>, Ticket> {
+        {
+            let mut s = self.state.slots.lock().expect("ticket lock poisoned");
+            assert!(
+                !s.poisoned,
+                "a router worker panicked while executing this batch"
+            );
+            if s.remaining == 0 {
+                return Ok(s.take_replies());
+            }
+        }
+        Err(self)
+    }
+}
+
+/// One client's pipelined conversation with the [`Db`](crate::Db):
+/// cheap to open (clones the router's channel senders and snapshots
+/// the splitters for shard-affine routing), independent of every
+/// other session, and bound to the `Db`'s lifetime.
+pub struct Session<'db> {
+    pub(crate) senders: Vec<Sender<WorkItem>>,
+    pub(crate) engine: &'db ShardedRma,
+    pub(crate) counters: &'db RouterCounters,
+    pub(crate) splitters: Splitters,
+    pub(crate) submits_since_refresh: u32,
+}
+
+impl Session<'_> {
+    /// Hands `ops` to the router and returns immediately with the
+    /// batch's [`Ticket`]. Each op is routed to the worker owning its
+    /// key's shard range (against this session's routing snapshot),
+    /// so consecutive ops on nearby keys stay cache-warm on one
+    /// worker. Submit freely before waiting — pipelining submits is
+    /// the point of the session API.
+    pub fn submit(&mut self, ops: &[Op]) -> Ticket {
+        let state = Arc::new(TicketState::new(ops.len()));
+        if ops.is_empty() {
+            return Ticket { state };
+        }
+        self.refresh_routing();
+        self.counters.batches.fetch_add(1, Relaxed);
+        self.counters
+            .ops_submitted
+            .fetch_add(ops.len() as u64, Relaxed);
+        let workers = self.senders.len();
+        if workers == 1 {
+            self.send(0, &state, WorkChunk::Whole(ops.to_vec()));
+            return Ticket { state };
+        }
+        let shards = self.splitters.num_shards();
+        let mut per_worker: Vec<Vec<(u32, Op)>> = vec![Vec::new(); workers];
+        for (i, &op) in ops.iter().enumerate() {
+            let w = self.splitters.route(op.routing_key()) * workers / shards;
+            per_worker[w].push((i as u32, op));
+        }
+        let mut non_empty = per_worker.iter().enumerate().filter(|(_, c)| !c.is_empty());
+        if let (Some((w, _)), None) = (non_empty.next(), non_empty.next()) {
+            // Shard-affine batches often land entirely on one worker:
+            // strip the slot ids (the pairs are in submission order)
+            // and take the no-bookkeeping path.
+            let chunk = per_worker.swap_remove(w);
+            self.send(
+                w,
+                &state,
+                WorkChunk::Whole(chunk.into_iter().map(|(_, op)| op).collect()),
+            );
+            return Ticket { state };
+        }
+        for (w, chunk) in per_worker.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                self.send(w, &state, WorkChunk::Partial(chunk));
+            }
+        }
+        Ticket { state }
+    }
+
+    fn send(&self, worker: usize, state: &Arc<TicketState>, chunk: WorkChunk) {
+        self.senders[worker]
+            .send(WorkItem {
+                ticket: Arc::clone(state),
+                chunk,
+            })
+            .expect("router worker alive while the Db lives");
+    }
+
+    /// Re-snapshots the splitters every [`ROUTING_REFRESH`] submits
+    /// so long-lived sessions track maintenance's topology changes.
+    fn refresh_routing(&mut self) {
+        self.submits_since_refresh += 1;
+        if self.submits_since_refresh >= ROUTING_REFRESH {
+            self.submits_since_refresh = 0;
+            self.splitters = self.engine.splitters();
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Construction-time configuration of the sharded engine, and the
+//! typed [`ConfigError`] every validator in this crate reports.
+//!
+//! [`ShardConfig::try_validate`] (and
+//! [`MaintainerConfig::try_validate`](crate::MaintainerConfig::try_validate))
+//! check every parameter **before** any construction work starts, so
+//! builder-style front-ends — [`rma-db`'s `DbBuilder`] is the
+//! canonical consumer — can reject a bad configuration with a typed,
+//! matchable error instead of panicking deep inside a constructor.
+//! The asserting `validate()` forms remain for the direct
+//! `ShardedRma` constructors, whose established contract is to abort
+//! on programmer error; both forms share one rule set.
+//!
+//! [`rma-db`'s `DbBuilder`]: https://docs.rs/rma-db
+
+use rma_core::{RmaConfig, RmaConfigError};
+
+/// How [`maintain`](crate::ShardedRma::maintain) restructures the
+/// topology when splitter re-learning engages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RelearnStrategy {
+    /// Re-learning is decomposed into a
+    /// [`MaintenancePlan`](crate::MaintenancePlan) of bounded steps —
+    /// boundary nudges when one move recovers most of the predicted
+    /// gain, shard-by-shard range rebuilds otherwise. Each step
+    /// publishes its own copy-on-write topology, so a writer only
+    /// ever waits out the one shard currently being restructured.
+    #[default]
+    Incremental,
+    /// The PR-3 behaviour, kept as the explicit comparison baseline:
+    /// one pass drains *every* shard under its write lock and
+    /// publishes the rebuilt topology in a single swap — writers can
+    /// stall for the whole rebuild (~100 ms at 2^20 scale).
+    Monolithic,
+    /// Only boundary nudges, never full range rebuilds: every adjacent
+    /// shard pair whose access mass is lopsided gets its boundary
+    /// moved to the pair's equal-access point. The cheap tracking mode
+    /// for drifting hotspots (and the `nudge` column of
+    /// `fig16_relearning`).
+    NudgeOnly,
+}
+
+/// How shard maintenance weighs shards when deciding splits and
+/// merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalancePolicy {
+    /// Access-driven (the paper's adaptive idea, §IV, lifted to the
+    /// shard layer): split/merge triggers compare decayed access
+    /// masses and hot shards split at the equal-access point of their
+    /// histogram CDF. Falls back to element counts while no access
+    /// has been recorded yet.
+    #[default]
+    ByAccess,
+    /// Length-driven (the PR-1 baseline): triggers compare element
+    /// counts and hot shards split at their key median. Kept as the
+    /// explicit baseline for the re-learning benchmarks.
+    ByLen,
+}
+
+/// Construction-time configuration of a
+/// [`ShardedRma`](crate::ShardedRma).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Target shard count. Splitter learning may induce fewer shards
+    /// on duplicate-heavy samples; maintenance may grow or shrink the
+    /// count over time (re-learning steers back toward this count).
+    pub num_shards: usize,
+    /// Configuration applied to every per-shard RMA.
+    pub rma: RmaConfig,
+    /// A shard splits when its weight (access mass under
+    /// [`BalancePolicy::ByAccess`], length under
+    /// [`BalancePolicy::ByLen`]) exceeds `split_factor` times the mean
+    /// shard weight (and the shard is at least `min_split_len` long).
+    pub split_factor: f64,
+    /// Two adjacent shards merge when their combined weight falls
+    /// below `merge_factor` times the mean shard weight.
+    pub merge_factor: f64,
+    /// Shards shorter than this never split, regardless of imbalance.
+    pub min_split_len: usize,
+    /// What maintenance balances on: access mass (default) or length.
+    pub balance: BalancePolicy,
+    /// Buckets per shard in the [`AccessStats`](crate::AccessStats)
+    /// histogram.
+    pub hist_buckets: usize,
+    /// Recorded operations (across the whole index) between histogram
+    /// halvings: all shard histograms decay *together* so their
+    /// relative masses survive; `0` disables decay. When
+    /// `adaptive_decay` is set this is only the starting value — the
+    /// background maintainer retunes it from the observed op rate.
+    pub decay_every: u64,
+    /// Adaptive decay half-life in seconds: when set, the background
+    /// maintainer retunes the decay period to `op_rate × half_life`,
+    /// so the histogram forgets a phase change in roughly constant
+    /// wall-clock time regardless of load
+    /// ([`retune_decay`](crate::ShardedRma::retune_decay)). `None`
+    /// keeps `decay_every` fixed. Ignored while `decay_every` is `0`
+    /// (decay disabled).
+    pub adaptive_decay: Option<f64>,
+    /// Whether [`maintain`](crate::ShardedRma::maintain) re-learns
+    /// splitters multi-way from the access histogram.
+    pub relearn: bool,
+    /// Re-learning only engages when the access imbalance (max/mean
+    /// shard mass) is at least this factor — below it the topology is
+    /// considered balanced and left alone.
+    pub relearn_trigger: f64,
+    /// Re-learning is skipped unless the predicted post-re-learn
+    /// imbalance improves on the current one by at least this
+    /// fraction (the stability guard against churn for marginal
+    /// gains).
+    pub relearn_min_gain: f64,
+    /// How re-learning restructures the topology: incrementally
+    /// (default), in one monolithic pass (the PR-3 baseline), or by
+    /// boundary nudges only.
+    pub relearn_strategy: RelearnStrategy,
+    /// Under [`RelearnStrategy::Incremental`], a single boundary nudge
+    /// is preferred over a full shard-by-shard rebuild when it
+    /// recovers at least this fraction of the rebuild's predicted
+    /// imbalance gain — the cheap path for drifting hotspots, where
+    /// one splitter chasing the band fixes most of the skew.
+    pub nudge_gain_fraction: f64,
+    /// Upper bound on the elements a single incremental maintenance
+    /// step may rebuild — the knob that bounds how long any one step
+    /// holds its shard locks (and therefore the worst-case writer
+    /// stall). Target ranges whose residents exceed it are aligned
+    /// with bounded split/merge steps instead of one consolidating
+    /// rebuild, leaving extra splitters inside element-heavy cold
+    /// ranges rather than stalling writers.
+    pub max_step_elems: usize,
+    /// Optional shard-length backstop for latency-SLO deployments:
+    /// when set, maintenance splits any shard that grows past this
+    /// many elements *regardless of access balance*, because a shard
+    /// bigger than one step can rebuild would break the bounded-stall
+    /// guarantee the moment it needs restructuring (pair it with a
+    /// comparable `max_step_elems`). `None` (the default) leaves
+    /// shard sizes to the access-driven policy — throughput-oriented
+    /// deployments with few large shards stay churn-free.
+    pub max_shard_len: Option<usize>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            num_shards: 8,
+            rma: RmaConfig::default(),
+            split_factor: 2.0,
+            merge_factor: 0.5,
+            min_split_len: 1024,
+            balance: BalancePolicy::ByAccess,
+            hist_buckets: 32,
+            decay_every: 8192,
+            adaptive_decay: None,
+            relearn: true,
+            relearn_trigger: 1.25,
+            relearn_min_gain: 0.1,
+            relearn_strategy: RelearnStrategy::default(),
+            nudge_gain_fraction: 0.75,
+            max_step_elems: 1 << 16,
+            max_shard_len: None,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default configuration with `n` shards.
+    pub fn with_shards(n: usize) -> Self {
+        ShardConfig {
+            num_shards: n,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the per-shard RMA configuration.
+    pub fn with_rma(mut self, rma: RmaConfig) -> Self {
+        self.rma = rma;
+        self
+    }
+
+    /// Panicking form of [`try_validate`](Self::try_validate), used by
+    /// the direct `ShardedRma` constructors (whose contract is to
+    /// abort on programmer error).
+    pub(crate) fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks every parameter, returning the first violation as a
+    /// typed [`ConfigError`] instead of panicking mid-construction.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.num_shards < 1 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.split_factor <= 1.0 {
+            return Err(ConfigError::SplitFactorNotAboveOne(self.split_factor));
+        }
+        if self.merge_factor >= self.split_factor {
+            return Err(ConfigError::MergeFactorNotBelowSplit {
+                merge: self.merge_factor,
+                split: self.split_factor,
+            });
+        }
+        if self.hist_buckets < 1 {
+            return Err(ConfigError::ZeroHistBuckets);
+        }
+        if let Some(hl) = self.adaptive_decay {
+            // NaN must fail too, so compare through the negation.
+            if hl.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(ConfigError::NonPositiveDecayHalfLife(hl));
+            }
+        }
+        if self.relearn_trigger < 1.0 {
+            return Err(ConfigError::RelearnTriggerBelowOne(self.relearn_trigger));
+        }
+        if !(0.0..1.0).contains(&self.relearn_min_gain) {
+            return Err(ConfigError::RelearnMinGainOutOfRange(self.relearn_min_gain));
+        }
+        if !(0.0..=1.0).contains(&self.nudge_gain_fraction) {
+            return Err(ConfigError::NudgeGainFractionOutOfRange(
+                self.nudge_gain_fraction,
+            ));
+        }
+        if self.max_step_elems < 1 {
+            return Err(ConfigError::ZeroMaxStepElems);
+        }
+        if let Some(m) = self.max_shard_len {
+            if m < self.min_split_len {
+                return Err(ConfigError::ShardLenBackstopBelowMinSplit {
+                    backstop: m,
+                    min_split_len: self.min_split_len,
+                });
+            }
+        }
+        self.rma.try_validate().map_err(ConfigError::Rma)
+    }
+}
+
+/// A rejected engine configuration parameter — the typed error behind
+/// [`ShardConfig::try_validate`] and
+/// [`MaintainerConfig::try_validate`](crate::MaintainerConfig::try_validate).
+/// The `Display` text doubles as the panic message of the asserting
+/// validators, so both reporting styles stay in lock-step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `num_shards == 0`: the index needs at least one shard.
+    ZeroShards,
+    /// `split_factor <= 1`: a shard at the mean weight would split.
+    SplitFactorNotAboveOne(f64),
+    /// `merge_factor >= split_factor`: a freshly split pair would
+    /// immediately re-merge and maintenance would oscillate.
+    MergeFactorNotBelowSplit {
+        /// The offending merge factor.
+        merge: f64,
+        /// The split factor it must stay below.
+        split: f64,
+    },
+    /// `hist_buckets == 0`: the access histogram needs a bucket.
+    ZeroHistBuckets,
+    /// `adaptive_decay <= 0` (or NaN): the half-life is a duration.
+    NonPositiveDecayHalfLife(f64),
+    /// `relearn_trigger < 1`: re-learning would churn on balanced
+    /// load.
+    RelearnTriggerBelowOne(f64),
+    /// `relearn_min_gain` outside `[0, 1)`.
+    RelearnMinGainOutOfRange(f64),
+    /// `nudge_gain_fraction` outside `[0, 1]` (an inverted fraction).
+    NudgeGainFractionOutOfRange(f64),
+    /// `max_step_elems == 0`: a maintenance step must be allowed to
+    /// move at least one element.
+    ZeroMaxStepElems,
+    /// `max_shard_len < min_split_len`: a shard past the backstop
+    /// could never split.
+    ShardLenBackstopBelowMinSplit {
+        /// The offending backstop.
+        backstop: usize,
+        /// The minimum length a splittable shard must have.
+        min_split_len: usize,
+    },
+    /// The per-shard RMA configuration was rejected.
+    Rma(RmaConfigError),
+    /// Maintainer `poll_interval` is zero.
+    ZeroPollInterval,
+    /// Maintainer `imbalance_trigger < 1`: maintenance would churn on
+    /// balanced load.
+    ImbalanceTriggerBelowOne(f64),
+    /// Maintainer `steps_per_tick == 0`: a plan could never drain.
+    ZeroStepsPerTick,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => f.write_str("need at least one shard"),
+            ConfigError::SplitFactorNotAboveOne(x) => {
+                write!(f, "split factor must exceed 1 (got {x})")
+            }
+            ConfigError::MergeFactorNotBelowSplit { merge, split } => write!(
+                f,
+                "merge factor must stay below split factor or maintenance \
+                 oscillates (merge {merge}, split {split})"
+            ),
+            ConfigError::ZeroHistBuckets => f.write_str("need at least one histogram bucket"),
+            ConfigError::NonPositiveDecayHalfLife(x) => {
+                write!(f, "adaptive decay half-life must be positive (got {x})")
+            }
+            ConfigError::RelearnTriggerBelowOne(x) => write!(
+                f,
+                "relearn trigger below 1 would churn on balanced load (got {x})"
+            ),
+            ConfigError::RelearnMinGainOutOfRange(x) => {
+                write!(f, "relearn min gain must be a fraction in [0, 1) (got {x})")
+            }
+            ConfigError::NudgeGainFractionOutOfRange(x) => write!(
+                f,
+                "nudge gain fraction must be a fraction in [0, 1] (got {x})"
+            ),
+            ConfigError::ZeroMaxStepElems => {
+                f.write_str("a maintenance step must be allowed to move at least one element")
+            }
+            ConfigError::ShardLenBackstopBelowMinSplit {
+                backstop,
+                min_split_len,
+            } => write!(
+                f,
+                "a shard-length backstop below min_split_len could never \
+                 split (backstop {backstop}, min_split_len {min_split_len})"
+            ),
+            ConfigError::Rma(e) => e.fmt(f),
+            ConfigError::ZeroPollInterval => f.write_str("poll interval must be positive"),
+            ConfigError::ImbalanceTriggerBelowOne(x) => write!(
+                f,
+                "imbalance trigger below 1 would churn on balanced load (got {x})"
+            ),
+            ConfigError::ZeroStepsPerTick => f.write_str("need at least one step per tick"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<RmaConfigError> for ConfigError {
+    fn from(e: RmaConfigError) -> Self {
+        ConfigError::Rma(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ShardConfig {
+        ShardConfig::default()
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(base().try_validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let cfg = ShardConfig {
+            num_shards: 0,
+            ..base()
+        };
+        assert_eq!(cfg.try_validate(), Err(ConfigError::ZeroShards));
+    }
+
+    #[test]
+    fn split_factor_at_one_rejected() {
+        let cfg = ShardConfig {
+            split_factor: 1.0,
+            ..base()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::SplitFactorNotAboveOne(1.0))
+        );
+    }
+
+    #[test]
+    fn merge_factor_above_split_rejected() {
+        let cfg = ShardConfig {
+            merge_factor: 3.0,
+            ..base()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::MergeFactorNotBelowSplit {
+                merge: 3.0,
+                split: 2.0
+            })
+        );
+    }
+
+    #[test]
+    fn zero_hist_buckets_rejected() {
+        let cfg = ShardConfig {
+            hist_buckets: 0,
+            ..base()
+        };
+        assert_eq!(cfg.try_validate(), Err(ConfigError::ZeroHistBuckets));
+    }
+
+    #[test]
+    fn non_positive_half_life_rejected() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let cfg = ShardConfig {
+                adaptive_decay: Some(bad),
+                ..base()
+            };
+            assert!(
+                matches!(
+                    cfg.try_validate(),
+                    Err(ConfigError::NonPositiveDecayHalfLife(_))
+                ),
+                "half-life {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn relearn_trigger_below_one_rejected() {
+        let cfg = ShardConfig {
+            relearn_trigger: 0.9,
+            ..base()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::RelearnTriggerBelowOne(0.9))
+        );
+    }
+
+    #[test]
+    fn relearn_min_gain_out_of_range_rejected() {
+        for bad in [-0.1, 1.0, 2.0] {
+            let cfg = ShardConfig {
+                relearn_min_gain: bad,
+                ..base()
+            };
+            assert_eq!(
+                cfg.try_validate(),
+                Err(ConfigError::RelearnMinGainOutOfRange(bad))
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_nudge_fraction_rejected() {
+        for bad in [-0.25, 1.25] {
+            let cfg = ShardConfig {
+                nudge_gain_fraction: bad,
+                ..base()
+            };
+            assert_eq!(
+                cfg.try_validate(),
+                Err(ConfigError::NudgeGainFractionOutOfRange(bad))
+            );
+        }
+    }
+
+    #[test]
+    fn zero_max_step_elems_rejected() {
+        let cfg = ShardConfig {
+            max_step_elems: 0,
+            ..base()
+        };
+        assert_eq!(cfg.try_validate(), Err(ConfigError::ZeroMaxStepElems));
+    }
+
+    #[test]
+    fn shard_len_backstop_below_min_split_rejected() {
+        let cfg = ShardConfig {
+            min_split_len: 1024,
+            max_shard_len: Some(512),
+            ..base()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::ShardLenBackstopBelowMinSplit {
+                backstop: 512,
+                min_split_len: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn bad_rma_config_surfaces_typed() {
+        let cfg = ShardConfig {
+            rma: RmaConfig::with_segment_size(100), // not a power of two
+            ..base()
+        };
+        assert_eq!(
+            cfg.try_validate(),
+            Err(ConfigError::Rma(RmaConfigError::SegmentNotPowerOfTwo(100)))
+        );
+    }
+
+    #[test]
+    fn display_matches_the_historic_panic_messages() {
+        // Downstream should_panic tests match on these substrings;
+        // the typed errors must keep printing them.
+        let text = ConfigError::MergeFactorNotBelowSplit {
+            merge: 3.0,
+            split: 2.0,
+        }
+        .to_string();
+        assert!(text.contains("merge factor"), "{text}");
+        let text = ConfigError::NonPositiveDecayHalfLife(0.0).to_string();
+        assert!(text.contains("half-life"), "{text}");
+    }
+}

@@ -22,7 +22,7 @@
 //!   `AtomicU64` bucket counters bumped on every operation and
 //!   periodically halved so stale hotspots fade;
 //! * maintenance is an **incremental plan engine**
-//!   ([`maintenance`](crate::maintenance) module):
+//!   ([`maintenance`] module):
 //!   [`rebalance_shards`](ShardedRma::rebalance_shards) and
 //!   [`relearn_splitters`](ShardedRma::relearn_splitters) *plan*
 //!   bounded [`MaintenanceStep`]s — splits, merges, boundary
@@ -42,7 +42,7 @@
 //!
 //! * **Routing** never locks: the topology (splitters + shard list)
 //!   lives behind an epoch-published handle
-//!   ([`optimistic::TopoHandle`]) — an `AtomicPtr` swap plus
+//!   (`optimistic::TopoHandle`) — an `AtomicPtr` swap plus
 //!   generation-counted reader pins, so maintenance replaces the
 //!   topology while readers keep serving from the one they pinned.
 //! * **Shard reads** are seqlock-optimistic: each shard carries an
@@ -110,6 +110,7 @@
 
 pub mod access;
 mod batch;
+pub mod config;
 pub mod maintainer;
 pub mod maintenance;
 mod optimistic;
@@ -118,6 +119,7 @@ mod shard;
 pub mod splitter;
 
 pub use access::AccessStats;
+pub use config::{BalancePolicy, ConfigError, RelearnStrategy, ShardConfig};
 pub use maintainer::{Maintainer, MaintainerConfig, MaintainerStats};
 pub use maintenance::{
     DrainReport, MaintenancePlan, MaintenanceReport, MaintenanceStep, RelearnReport, ShardStats,
@@ -127,7 +129,7 @@ pub use shard::LockStats;
 pub use splitter::Splitters;
 
 use optimistic::{TopoGuard, TopoHandle};
-use rma_core::{Key, RmaConfig, Value};
+use rma_core::{Key, Value};
 use shard::{ShardWriteGuard, Topology};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -141,196 +143,31 @@ pub(crate) const DECAY_TICK_BATCH: u64 = 64;
 const ADAPTIVE_DECAY_MIN: u64 = 256;
 const ADAPTIVE_DECAY_MAX: u64 = 1 << 26;
 
-/// How [`maintain`](ShardedRma::maintain) restructures the topology
-/// when splitter re-learning engages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RelearnStrategy {
-    /// Re-learning is decomposed into a [`MaintenancePlan`] of bounded
-    /// steps — boundary nudges when one move recovers most of the
-    /// predicted gain, shard-by-shard range rebuilds otherwise. Each
-    /// step publishes its own copy-on-write topology, so a writer only
-    /// ever waits out the one shard currently being restructured.
-    #[default]
-    Incremental,
-    /// The PR-3 behaviour, kept as the explicit comparison baseline:
-    /// one pass drains *every* shard under its write lock and
-    /// publishes the rebuilt topology in a single swap — writers can
-    /// stall for the whole rebuild (~100 ms at 2^20 scale).
-    Monolithic,
-    /// Only boundary nudges, never full range rebuilds: every adjacent
-    /// shard pair whose access mass is lopsided gets its boundary
-    /// moved to the pair's equal-access point. The cheap tracking mode
-    /// for drifting hotspots (and the `nudge` column of
-    /// `fig16_relearning`).
-    NudgeOnly,
-}
-
-/// How shard maintenance weighs shards when deciding splits and
-/// merges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BalancePolicy {
-    /// Access-driven (the paper's adaptive idea, §IV, lifted to the
-    /// shard layer): split/merge triggers compare decayed access
-    /// masses and hot shards split at the equal-access point of their
-    /// histogram CDF. Falls back to element counts while no access
-    /// has been recorded yet.
-    #[default]
-    ByAccess,
-    /// Length-driven (the PR-1 baseline): triggers compare element
-    /// counts and hot shards split at their key median. Kept as the
-    /// explicit baseline for the re-learning benchmarks.
-    ByLen,
-}
-
-/// Construction-time configuration of a [`ShardedRma`].
-#[derive(Debug, Clone, Copy)]
-pub struct ShardConfig {
-    /// Target shard count. Splitter learning may induce fewer shards
-    /// on duplicate-heavy samples; maintenance may grow or shrink the
-    /// count over time (re-learning steers back toward this count).
+/// One coherent snapshot of the engine's observable state, produced
+/// by [`ShardedRma::stats_snapshot`]. Everything the five historic
+/// getters returned, in one read: content totals, the access-balance
+/// signal, the lock-freedom proof counters, and the maintenance plan
+/// engine's lifetime counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Stored elements across all shards.
+    pub len: usize,
+    /// Shards in the live topology.
     pub num_shards: usize,
-    /// Configuration applied to every per-shard RMA.
-    pub rma: RmaConfig,
-    /// A shard splits when its weight (access mass under
-    /// [`BalancePolicy::ByAccess`], length under
-    /// [`BalancePolicy::ByLen`]) exceeds `split_factor` times the mean
-    /// shard weight (and the shard is at least `min_split_len` long).
-    pub split_factor: f64,
-    /// Two adjacent shards merge when their combined weight falls
-    /// below `merge_factor` times the mean shard weight.
-    pub merge_factor: f64,
-    /// Shards shorter than this never split, regardless of imbalance.
-    pub min_split_len: usize,
-    /// What maintenance balances on: access mass (default) or length.
-    pub balance: BalancePolicy,
-    /// Buckets per shard in the [`AccessStats`] histogram.
-    pub hist_buckets: usize,
-    /// Recorded operations (across the whole index) between histogram
-    /// halvings: all shard histograms decay *together* so their
-    /// relative masses survive; `0` disables decay. When
-    /// `adaptive_decay` is set this is only the starting value — the
-    /// background maintainer retunes it from the observed op rate.
-    pub decay_every: u64,
-    /// Adaptive decay half-life in seconds: when set, the background
-    /// maintainer retunes the decay period to `op_rate × half_life`,
-    /// so the histogram forgets a phase change in roughly constant
-    /// wall-clock time regardless of load ([`ShardedRma::retune_decay`]).
-    /// `None` keeps `decay_every` fixed. Ignored while `decay_every`
-    /// is `0` (decay disabled).
-    pub adaptive_decay: Option<f64>,
-    /// Whether [`maintain`](ShardedRma::maintain) re-learns splitters
-    /// multi-way from the access histogram.
-    pub relearn: bool,
-    /// Re-learning only engages when the access imbalance (max/mean
-    /// shard mass) is at least this factor — below it the topology is
-    /// considered balanced and left alone.
-    pub relearn_trigger: f64,
-    /// Re-learning is skipped unless the predicted post-re-learn
-    /// imbalance improves on the current one by at least this
-    /// fraction (the stability guard against churn for marginal
-    /// gains).
-    pub relearn_min_gain: f64,
-    /// How re-learning restructures the topology: incrementally
-    /// (default), in one monolithic pass (the PR-3 baseline), or by
-    /// boundary nudges only.
-    pub relearn_strategy: RelearnStrategy,
-    /// Under [`RelearnStrategy::Incremental`], a single boundary nudge
-    /// is preferred over a full shard-by-shard rebuild when it
-    /// recovers at least this fraction of the rebuild's predicted
-    /// imbalance gain — the cheap path for drifting hotspots, where
-    /// one splitter chasing the band fixes most of the skew.
-    pub nudge_gain_fraction: f64,
-    /// Upper bound on the elements a single incremental maintenance
-    /// step may rebuild — the knob that bounds how long any one step
-    /// holds its shard locks (and therefore the worst-case writer
-    /// stall). Target ranges whose residents exceed it are aligned
-    /// with bounded split/merge steps instead of one consolidating
-    /// rebuild, leaving extra splitters inside element-heavy cold
-    /// ranges rather than stalling writers.
-    pub max_step_elems: usize,
-    /// Optional shard-length backstop for latency-SLO deployments:
-    /// when set, maintenance splits any shard that grows past this
-    /// many elements *regardless of access balance*, because a shard
-    /// bigger than one step can rebuild would break the bounded-stall
-    /// guarantee the moment it needs restructuring (pair it with a
-    /// comparable `max_step_elems`). `None` (the default) leaves
-    /// shard sizes to the access-driven policy — throughput-oriented
-    /// deployments with few large shards stay churn-free.
-    pub max_shard_len: Option<usize>,
-}
-
-impl Default for ShardConfig {
-    fn default() -> Self {
-        ShardConfig {
-            num_shards: 8,
-            rma: RmaConfig::default(),
-            split_factor: 2.0,
-            merge_factor: 0.5,
-            min_split_len: 1024,
-            balance: BalancePolicy::ByAccess,
-            hist_buckets: 32,
-            decay_every: 8192,
-            adaptive_decay: None,
-            relearn: true,
-            relearn_trigger: 1.25,
-            relearn_min_gain: 0.1,
-            relearn_strategy: RelearnStrategy::default(),
-            nudge_gain_fraction: 0.75,
-            max_step_elems: 1 << 16,
-            max_shard_len: None,
-        }
-    }
-}
-
-impl ShardConfig {
-    /// Default configuration with `n` shards.
-    pub fn with_shards(n: usize) -> Self {
-        ShardConfig {
-            num_shards: n,
-            ..Default::default()
-        }
-    }
-
-    /// Replaces the per-shard RMA configuration.
-    pub fn with_rma(mut self, rma: RmaConfig) -> Self {
-        self.rma = rma;
-        self
-    }
-
-    fn validate(&self) {
-        assert!(self.num_shards >= 1, "need at least one shard");
-        assert!(self.split_factor > 1.0, "split factor must exceed 1");
-        assert!(
-            self.merge_factor < self.split_factor,
-            "merge factor must stay below split factor or maintenance oscillates"
-        );
-        assert!(self.hist_buckets >= 1, "need at least one histogram bucket");
-        assert!(
-            self.adaptive_decay.is_none_or(|hl| hl > 0.0),
-            "adaptive decay half-life must be positive"
-        );
-        assert!(
-            self.relearn_trigger >= 1.0,
-            "relearn trigger below 1 would churn on balanced load"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.relearn_min_gain),
-            "relearn min gain must be a fraction in [0, 1)"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.nudge_gain_fraction),
-            "nudge gain fraction must be a fraction in [0, 1]"
-        );
-        assert!(
-            self.max_step_elems >= 1,
-            "a maintenance step must be allowed to move at least one element"
-        );
-        assert!(
-            self.max_shard_len.is_none_or(|m| m >= self.min_split_len),
-            "a shard-length backstop below min_split_len could never split"
-        );
-        self.rma.validate();
-    }
+    /// Resident bytes across all shards.
+    pub memory_footprint: usize,
+    /// Operations recorded on the shared decay clock (in
+    /// `DECAY_TICK_BATCH`-sized granules for point ops).
+    pub op_count: u64,
+    /// Max/mean decayed access mass across shards (`1.0` = balanced).
+    pub access_imbalance: f64,
+    /// Shared `RwLock` acquisitions since construction — stays flat
+    /// while the optimistic read path is winning.
+    pub read_locks: u64,
+    /// Exclusive `RwLock` acquisitions since construction.
+    pub write_locks: u64,
+    /// The incremental maintenance engine's lifetime counters.
+    pub maintenance: MaintenanceStats,
 }
 
 /// A concurrent, key-range-sharded collection of [`rma_core::Rma`]s.
@@ -492,7 +329,7 @@ impl ShardedRma {
     }
 
     /// Total operations recorded on the shared clock (in
-    /// [`DECAY_TICK_BATCH`] granules for point ops; exact for
+    /// `DECAY_TICK_BATCH` granules for point ops; exact for
     /// batches). The background maintainer differentiates this to
     /// estimate the op rate.
     pub fn op_count(&self) -> u64 {
@@ -560,6 +397,54 @@ impl ShardedRma {
             topologies_published: self.handle.publications(),
             max_step_wall_ns: c.max_step_ns.load(Relaxed),
             batch_reroutes: c.batch_reroutes.load(Relaxed),
+        }
+    }
+
+    /// One coherent observability snapshot: gathers what used to take
+    /// five separate getters ([`maintenance_stats`](Self::maintenance_stats),
+    /// [`lock_acquisitions`](Self::lock_acquisitions),
+    /// [`access_imbalance`](Self::access_imbalance),
+    /// [`op_count`](Self::op_count),
+    /// [`memory_footprint`](Self::memory_footprint)) plus the shard
+    /// count and resident-element total, reading each shard once.
+    /// The lock counters are captured *before* the per-shard sweep,
+    /// and the sweep itself reads optimistically (read-lock fallback
+    /// only under writer interference), so a monitoring loop calling
+    /// this does not drift the lock-freedom proof counters.
+    pub fn stats_snapshot(&self) -> EngineSnapshot {
+        let (read_locks, write_locks) = self.lock_acquisitions();
+        let maintenance = self.maintenance_stats();
+        let topo = self.topo();
+        let mut len = 0usize;
+        let mut memory_footprint = 0usize;
+        let mut masses = Vec::with_capacity(topo.shards.len());
+        for shard in &topo.shards {
+            let (l, m) = shard
+                .try_optimistic(|rma| (rma.len(), rma.memory_footprint()))
+                .unwrap_or_else(|| {
+                    let g = shard.read();
+                    (g.len(), g.memory_footprint())
+                });
+            len += l;
+            memory_footprint += m;
+            masses.push(shard.stats.total());
+        }
+        let total_mass: u64 = masses.iter().sum();
+        let access_imbalance = if total_mass == 0 {
+            1.0
+        } else {
+            let mean = total_mass as f64 / masses.len() as f64;
+            *masses.iter().max().expect("at least one shard") as f64 / mean
+        };
+        EngineSnapshot {
+            len,
+            num_shards: topo.shards.len(),
+            memory_footprint,
+            op_count: self.op_count(),
+            access_imbalance,
+            read_locks,
+            write_locks,
+            maintenance,
         }
     }
 
@@ -753,7 +638,7 @@ impl ShardedRma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rma_core::RewiringMode;
+    use rma_core::{RewiringMode, RmaConfig};
 
     pub(crate) fn small_cfg(n: usize) -> ShardConfig {
         ShardConfig {

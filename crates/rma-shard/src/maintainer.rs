@@ -11,10 +11,10 @@
 //! the thread:
 //!
 //! 1. estimates the op rate from the shared op clock and — when
-//!    [`ShardConfig::adaptive_decay`](crate::ShardConfig::adaptive_decay)
+//!    [`crate::ShardConfig::adaptive_decay`]
 //!    is set — retunes the histogram decay period so phase changes
 //!    are forgotten in roughly constant wall-clock time;
-//! 2. if a [`MaintenancePlan`](crate::MaintenancePlan) is in flight,
+//! 2. if a [`crate::MaintenancePlan`] is in flight,
 //!    executes up to [`MaintainerConfig::steps_per_tick`] of its
 //!    steps, parking for [`MaintainerConfig::step_pause`] between
 //!    them — each step publishes its own copy-on-write topology, so
@@ -31,7 +31,8 @@
 //! [`maintain`](ShardedRma::maintain) — the comparison baseline the
 //! `fig18_write_stall` driver measures.
 //!
-//! Because the read path is optimistic (see [`crate::optimistic`]),
+//! Because the read path is optimistic (see the crate docs on the
+//! seqlock/epoch read protocol),
 //! maintenance running on this thread never blocks readers; with the
 //! incremental engine, writers queue only behind the single step
 //! currently restructuring their shard.
@@ -41,7 +42,7 @@
 //! mid-drain — safe, because every executed step left a complete,
 //! consistent topology; the next maintainer simply re-plans.
 
-use crate::{MaintenancePlan, MaintenanceStep, RelearnStrategy, ShardedRma};
+use crate::{ConfigError, MaintenancePlan, MaintenanceStep, RelearnStrategy, ShardedRma};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,6 +77,34 @@ impl Default for MaintainerConfig {
             min_ops_between: 4096,
             steps_per_tick: 4,
             step_pause: Duration::from_micros(500),
+        }
+    }
+}
+
+impl MaintainerConfig {
+    /// Checks the cadence parameters, returning the first violation
+    /// as a typed [`ConfigError`] instead of panicking — the form
+    /// builder front-ends validate with before any thread spawns.
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if self.poll_interval == Duration::ZERO {
+            return Err(ConfigError::ZeroPollInterval);
+        }
+        if self.imbalance_trigger < 1.0 {
+            return Err(ConfigError::ImbalanceTriggerBelowOne(
+                self.imbalance_trigger,
+            ));
+        }
+        if self.steps_per_tick < 1 {
+            return Err(ConfigError::ZeroStepsPerTick);
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`try_validate`](Self::try_validate), used
+    /// by [`ShardedRma::start_maintainer`].
+    fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -141,6 +170,13 @@ impl Maintainer {
         &self.stats
     }
 
+    /// A co-owning handle to the counters that outlives the
+    /// maintainer — façade layers keep one so their stats snapshot
+    /// still reports the final figures after the thread stops.
+    pub fn stats_handle(&self) -> Arc<MaintainerStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Signals the thread, joins it, and returns the final counters.
     pub fn stop(mut self) -> Arc<MaintainerStats> {
         self.shutdown();
@@ -170,15 +206,7 @@ impl ShardedRma {
     /// (step publication is serialized internally, and stale steps
     /// skip) but pointless.
     pub fn start_maintainer(self: &Arc<Self>, cfg: MaintainerConfig) -> Maintainer {
-        assert!(
-            cfg.poll_interval > Duration::ZERO,
-            "poll interval must be positive"
-        );
-        assert!(
-            cfg.imbalance_trigger >= 1.0,
-            "imbalance trigger below 1 would churn on balanced load"
-        );
-        assert!(cfg.steps_per_tick >= 1, "need at least one step per tick");
+        cfg.validate();
         let index = Arc::clone(self);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(MaintainerStats::default());

@@ -13,7 +13,7 @@
 //!
 //! * **planners** ([`ShardedRma::plan_maintenance`],
 //!   [`ShardedRma::plan_relearn`], [`ShardedRma::plan_rebalance`],
-//!   in [`plan`]) read the access histograms and emit a
+//!   in `plan.rs`) read the access histograms and emit a
 //!   [`MaintenancePlan`] of bounded steps — [`SplitShard`]
 //!   (one shard; its work is bounded by that shard's size, which the
 //!   opt-in `ShardConfig::max_shard_len` backstop keeps within a
@@ -21,7 +21,7 @@
 //!   shards), [`RebuildShard`] (one target key range, capped at
 //!   `ShardConfig::max_step_elems` residents);
 //! * the **executor** ([`ShardedRma::execute_step`] /
-//!   [`ShardedRma::drain_plan`], in [`executor`]) applies one step at
+//!   [`ShardedRma::drain_plan`], in `executor.rs`) applies one step at
 //!   a time: it locks only the shards inside the step's key range,
 //!   drains them, publishes a successor topology that reuses every
 //!   untouched shard's `Arc`, and waits out the read grace period —
@@ -30,7 +30,7 @@
 //!   never the whole topology**;
 //! * the **monolithic baseline**
 //!   ([`ShardedRma::relearn_splitters_monolithic`], in
-//!   [`monolithic`]) keeps the PR-3 single-swap rebuild as an
+//!   `monolithic.rs`) keeps the PR-3 single-swap rebuild as an
 //!   explicit comparison point for the `fig18_write_stall` benchmark.
 //!
 //! [`NudgeBoundary`] is the cheap path for *drifting* hotspots: when
@@ -49,7 +49,7 @@
 //!
 //! Every structural change remains copy-on-write: a step (serialized
 //! by the maintenance mutex) drains the affected shards under their
-//! write locks, builds a successor [`Topology`] that reuses the
+//! write locks, builds a successor `Topology` that reuses the
 //! untouched shards' `Arc`s, marks the replaced shards retired, swaps
 //! the topology pointer, releases the locks, and only then waits out
 //! the readers still pinned to the displaced topology. Readers never

@@ -1,19 +1,24 @@
-//! A multi-threaded mixed OLTP/scan "server" on the sharded RMA.
+//! A multi-threaded mixed OLTP/scan "server" on the `rma-db` facade.
 //!
-//! Simulates the deployment shape the sharded front-end is for: OLTP
-//! writers stream inserts and successor-deletes, analytic readers run
-//! range sums concurrently (lock-free on the happy path), an ingest
-//! thread applies partitioned batches, and the built-in background
+//! Simulates the deployment shape the stack is built for, consumed
+//! the way a real deployment would: one [`Db`] opened through the
+//! validating builder with background maintenance owned by the
+//! handle. OLTP writers stream skewed inserts and deletes through
+//! **pipelined sessions** (batched submits, several tickets in
+//! flight — the request-router path), analytic readers run range
+//! sums through the direct-call path (lock-free on the happy path),
+//! an ingest thread applies partitioned batches, and the background
 //! maintainer re-learns splitters / splits hot shards / merges cold
-//! ones — all against one shared [`ShardedRma`] with no `&mut`
-//! anywhere.
+//! ones underneath all of them. At the end, every figure reported
+//! comes from the one consolidated [`Db::stats`] snapshot.
 //!
 //! Run with: `cargo run --release --example sharded_server`
 
-use rma_repro::shard::{MaintainerConfig, ShardConfig, ShardedRma};
+use rma_repro::db::{Db, Op, Reply, Ticket};
+use rma_repro::shard::MaintainerConfig;
 use rma_repro::workloads::{BatchStream, KeyStream, Pattern, SplitMix64};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
 use std::time::Instant;
 
 const PRELOAD: usize = 200_000;
@@ -23,34 +28,49 @@ const OPS_PER_WRITER: usize = 100_000;
 const SCANS_PER_READER: usize = 2_000;
 const BATCHES: usize = 20;
 const BATCH_LEN: usize = 5_000;
+/// Ops per pipelined submit; a writer keeps a few tickets in flight.
+const SUBMIT: usize = 512;
+const PIPELINE_DEPTH: usize = 4;
+
+fn count_removed(replies: &[Reply]) -> u64 {
+    replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Removed(Some(_))))
+        .count() as u64
+}
 
 fn main() {
     // Bootstrap from a bulk load; splitters are learned from the
-    // batch quantiles so the shards start balanced.
+    // batch quantiles so the shards start balanced. The builder
+    // validates everything up front and the handle owns the
+    // background maintainer — no separate handles to juggle.
     let mut base = KeyStream::new(Pattern::Uniform, 7).take_pairs(PRELOAD);
     base.sort_unstable();
-    let index = Arc::new(ShardedRma::load_bulk(ShardConfig::with_shards(16), &base));
+    let db = Db::builder()
+        .shards(16)
+        .maintenance(MaintainerConfig::default())
+        .build_bulk(&base)
+        .expect("static server config is valid");
     println!(
-        "server up: {} elements across {} shards",
-        index.len(),
-        index.num_shards()
+        "server up: {} elements across {} shards, {} router workers",
+        db.len(),
+        db.stats().engine.num_shards,
+        db.stats().router.workers
     );
-
-    // Background maintenance: watches the access imbalance and the op
-    // rate, re-learns splitters and splits/merges shards on its own
-    // thread. Readers never block behind it (optimistic read path).
-    let maintainer = index.start_maintainer(MaintainerConfig::default());
 
     let stop = AtomicBool::new(false);
     let scanned = AtomicU64::new(0);
+    let removed = AtomicU64::new(0);
     let started = Instant::now();
 
     std::thread::scope(|sc| {
         // OLTP writers: skewed inserts (front of the key space is
-        // hot) interleaved with successor-deletes.
+        // hot) interleaved with exact-key deletes, pipelined through
+        // a session each — the serving shape of the request router.
+        let mut worker_handles = Vec::new();
         for w in 0..WRITERS {
-            let index = &index;
-            sc.spawn(move || {
+            let (db, removed) = (&db, &removed);
+            worker_handles.push(sc.spawn(move || {
                 let mut stream = KeyStream::new(
                     Pattern::Zipf {
                         alpha: 1.0,
@@ -58,26 +78,41 @@ fn main() {
                     },
                     100 + w as u64,
                 );
-                for i in 0..OPS_PER_WRITER {
-                    let (k, v) = stream.next_pair();
-                    if i % 4 == 3 {
-                        index.remove_successor(k);
-                    } else {
-                        index.insert(k, v);
+                let mut session = db.session();
+                let mut in_flight: VecDeque<Ticket> = VecDeque::new();
+                let mut ops = Vec::with_capacity(SUBMIT);
+                for start in (0..OPS_PER_WRITER).step_by(SUBMIT) {
+                    ops.clear();
+                    for i in start..(start + SUBMIT).min(OPS_PER_WRITER) {
+                        let (k, v) = stream.next_pair();
+                        ops.push(if i % 4 == 3 {
+                            Op::Remove(k)
+                        } else {
+                            Op::Insert(k, v)
+                        });
+                    }
+                    in_flight.push_back(session.submit(&ops));
+                    if in_flight.len() >= PIPELINE_DEPTH {
+                        let replies = in_flight.pop_front().expect("non-empty").wait();
+                        removed.fetch_add(count_removed(&replies), Relaxed);
                     }
                 }
-            });
+                for ticket in in_flight {
+                    removed.fetch_add(count_removed(&ticket.wait()), Relaxed);
+                }
+            }));
         }
 
-        // Analytic readers: random-start range sums.
+        // Analytic readers: random-start range sums on the
+        // direct-call path (lock-free happy path).
         for r in 0..READERS {
-            let (index, stop, scanned) = (&index, &stop, &scanned);
+            let (db, stop, scanned) = (&db, &stop, &scanned);
             sc.spawn(move || {
                 let mut rng = SplitMix64::new(900 + r as u64);
                 let mut done = 0usize;
                 while !stop.load(Relaxed) && done < SCANS_PER_READER {
                     let start = (rng.next_u64() >> 2) as i64;
-                    let (n, _) = index.sum_range(start, 1_000);
+                    let (n, _) = db.sum_range(start, 1_000);
                     scanned.fetch_add(n as u64, Relaxed);
                     done += 1;
                 }
@@ -87,62 +122,62 @@ fn main() {
         // Bulk ingest: sorted uniform batches through the parallel
         // partitioned-batch path.
         {
-            let index = &index;
-            sc.spawn(move || {
+            let db = &db;
+            worker_handles.push(sc.spawn(move || {
                 let mut batches = BatchStream::new(Pattern::Uniform, 55);
                 for _ in 0..BATCHES {
                     let batch = batches.next_batch(BATCH_LEN);
-                    index.apply_batch(&batch, &[]);
+                    db.apply_batch(&batch, &[]);
                 }
-            });
+            }));
         }
 
-        // Writers and ingest finish on their own; then release the
-        // readers. (Scoped threads join automatically at the end of
-        // the scope, but readers poll `stop`, so flip it once writers
-        // are done. The background maintainer lives outside the scope
-        // and is stopped after it.)
-        let index = &index;
+        // Writers and ingest are bounded: join them, then release the
+        // readers (who poll `stop`).
         let stop = &stop;
         sc.spawn(move || {
-            // Watch writer progress by shard length stabilisation: the
-            // writer/ingest threads above are bounded, so simply wait
-            // until the expected op volume has landed.
-            let expected_inserts = WRITERS * OPS_PER_WRITER * 3 / 4 + BATCHES * BATCH_LEN;
-            let expected_deletes = WRITERS * OPS_PER_WRITER / 4;
-            let target = PRELOAD + expected_inserts - expected_deletes;
-            loop {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-                if index.len() == target {
-                    break;
-                }
+            for handle in worker_handles {
+                handle.join().expect("worker thread panicked");
             }
             stop.store(true, Relaxed);
         });
     });
 
     let secs = started.elapsed().as_secs_f64();
-    let maint = maintainer.stop();
-    index.check_invariants();
+    // Quiesce the maintainer deterministically, then verify and
+    // report everything from the one consolidated snapshot.
+    db.stop_maintenance();
+    db.engine().check_invariants();
+    let expected = PRELOAD + WRITERS * OPS_PER_WRITER * 3 / 4 + BATCHES * BATCH_LEN
+        - removed.load(Relaxed) as usize;
+    assert_eq!(db.len(), expected, "content drifted from the op ledger");
+
+    let snap = db.stats();
     println!(
-        "done in {secs:.2}s: {} elements, {} shards, {} elements scanned",
-        index.len(),
-        index.num_shards(),
-        scanned.load(Relaxed)
+        "done in {secs:.2}s: {} elements, {} shards, {} elements scanned, {} deletes hit",
+        snap.engine.len,
+        snap.engine.num_shards,
+        scanned.load(Relaxed),
+        removed.load(Relaxed)
     );
     println!(
-        "maintenance (background): {} runs, {} relearns, {} splits, {} merges, {} nudges, {} steps",
-        maint.runs(),
-        maint.relearns(),
-        maint.splits(),
-        maint.merges(),
-        maint.nudges(),
-        maint.steps()
+        "router: {} workers, {} sessions, {} batches, {} ops ({} executed)",
+        snap.router.workers,
+        snap.router.sessions_opened,
+        snap.router.batches_submitted,
+        snap.router.ops_submitted,
+        snap.router.ops_executed
     );
+    if let Some(m) = snap.maintainer {
+        println!(
+            "maintenance (background): {} polls, {} runs, {} relearns, {} splits, {} merges, {} nudges, {} steps",
+            m.polls, m.runs, m.relearns, m.splits, m.merges, m.nudges, m.steps
+        );
+    }
     // The incremental plan engine's own counters: every topology
     // change was one bounded step, and the worst step wall time is
     // the longest any writer could have queued behind maintenance.
-    let ms = index.maintenance_stats();
+    let ms = snap.engine.maintenance;
     println!(
         "plan engine: {} plans, {}/{} steps executed/skipped, {} keys migrated, {} topologies published, {} batch re-routes, worst step {:.2} ms",
         ms.plans,
@@ -153,10 +188,15 @@ fn main() {
         ms.batch_reroutes,
         ms.max_step_wall_ns as f64 / 1e6
     );
-    let (read_locks, write_locks) = index.lock_acquisitions();
-    println!("lock acquisitions: {read_locks} read, {write_locks} write (reads are optimistic)");
+    println!(
+        "lock acquisitions: {} read, {} write (reads are optimistic); access imbalance {:.2}; footprint {} B",
+        snap.engine.read_locks,
+        snap.engine.write_locks,
+        snap.engine.access_imbalance,
+        snap.engine.memory_footprint
+    );
     println!("\nper-shard load (len / reads / writes):");
-    for st in index.shard_stats() {
+    for st in db.engine().shard_stats() {
         println!(
             "  shard {:>2} [{:>20} .. {:<20}) len={:<8} reads={:<7} writes={}",
             st.shard,

@@ -3,6 +3,12 @@
 //! This façade crate re-exports the whole reproduction workspace of
 //! De Leo & Boncz, *Packed Memory Arrays – Rewired*, ICDE 2019:
 //!
+//! * [`db`] — the **database facade** most deployments should
+//!   consume: a builder-configured [`Db`](rma_db::Db) handle that
+//!   owns the sharded engine and its background-maintainer
+//!   lifecycle, pipelined [`Session`](rma_db::Session)s routing
+//!   typed operations through channel-fed shard-affine worker
+//!   threads, and one consolidated stats snapshot;
 //! * [`rma`] — the **Rewired Memory Array** (the paper's
 //!   contribution): a sparse array with clustered fixed-size segments,
 //!   a static index, memory-rewired rebalances and adaptive
@@ -41,9 +47,29 @@
 //! assert_eq!((visited, sum), (2, 3));
 //! ```
 //!
-//! For concurrent callers, wrap the same operations in the sharded
-//! front-end — every operation takes `&self` and locks only the
-//! shard(s) it touches:
+//! For concurrent callers, open the database facade — one builder,
+//! one handle, pipelined sessions:
+//!
+//! ```
+//! use rma_repro::db::{Db, Op};
+//!
+//! let db = Db::builder().shards(4).build().expect("static config");
+//! std::thread::scope(|s| {
+//!     for t in 0..4i64 {
+//!         let db = &db;
+//!         s.spawn(move || {
+//!             let mut session = db.session();
+//!             let ops: Vec<Op> = (0..100).map(|i| Op::Insert(t * 100 + i, i)).collect();
+//!             session.submit(&ops).wait();
+//!         });
+//!     }
+//! });
+//! assert_eq!(db.stats().engine.len, 400);
+//! ```
+//!
+//! The sharded engine underneath stays public for direct embedding —
+//! every operation takes `&self` and locks only the shard(s) it
+//! touches:
 //!
 //! ```
 //! use rma_repro::shard::{ShardConfig, ShardedRma};
@@ -67,5 +93,6 @@ pub use art;
 pub use pma_baseline as pma;
 pub use rewiring;
 pub use rma_core as rma;
+pub use rma_db as db;
 pub use rma_shard as shard;
 pub use workloads;

@@ -12,9 +12,9 @@
 //! bound the run; the default keeps the test under a few seconds.
 
 use rma_core::{RewiringMode, RmaConfig};
-use rma_shard::{MaintainerConfig, ShardConfig, ShardedRma, Splitters};
+use rma_db::Db;
+use rma_shard::{MaintainerConfig, ShardConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
 use std::time::Duration;
 use workloads::SplitMix64;
 
@@ -52,13 +52,18 @@ fn readers_vs_maintenance_stress() {
     let ops = stress_ops();
 
     let base: Vec<(i64, i64)> = (0..PRELOADED).map(|k| (k, k)).collect();
-    let index = ShardedRma::load_bulk(stress_cfg(8), &base);
+    let db = Db::builder()
+        .router_workers(1) // engine-only stress: no session traffic
+        .shard_config(stress_cfg(8))
+        .build_bulk(&base)
+        .expect("valid stress config");
+    let index = db.engine();
     let stop = AtomicBool::new(false);
     let torn = AtomicU64::new(0);
     let inserted = AtomicU64::new(0);
 
     std::thread::scope(|sc| {
-        let (index, stop, torn, inserted) = (&index, &stop, &torn, &inserted);
+        let (index, stop, torn, inserted) = (index, &stop, &torn, &inserted);
         for t in 0..2u64 {
             sc.spawn(move || {
                 let mut rng = SplitMix64::new(0xD00D + t);
@@ -142,14 +147,19 @@ fn readers_vs_background_maintainer_stress() {
     const PRELOADED: i64 = 20_000;
     let ops = stress_ops();
     let base: Vec<(i64, i64)> = (0..PRELOADED).map(|k| (k, k)).collect();
-    let index = Arc::new(ShardedRma::load_bulk(stress_cfg(8), &base));
-    let maintainer = index.start_maintainer(MaintainerConfig {
-        poll_interval: Duration::from_millis(1),
-        imbalance_trigger: 1.1,
-        min_ops_between: 256,
-        step_pause: Duration::from_micros(100),
-        ..Default::default()
-    });
+    let db = Db::builder()
+        .router_workers(1) // engine-only stress: no session traffic
+        .shard_config(stress_cfg(8))
+        .maintenance(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            imbalance_trigger: 1.1,
+            min_ops_between: 256,
+            step_pause: Duration::from_micros(100),
+            ..Default::default()
+        })
+        .build_bulk(&base)
+        .expect("valid stress config");
+    let index = db.engine();
 
     std::thread::scope(|sc| {
         for t in 0..2u64 {
@@ -169,7 +179,7 @@ fn readers_vs_background_maintainer_stress() {
             });
         }
     });
-    let stats = maintainer.stop();
+    let stats = db.stop_maintenance().expect("maintainer was running");
     index.check_invariants();
     assert_eq!(index.len(), PRELOADED as usize);
     assert_eq!(
@@ -180,11 +190,11 @@ fn readers_vs_background_maintainer_stress() {
     // surface it for debugging.
     eprintln!(
         "maintainer: polls={} runs={} relearns={} splits={} merges={} shards={}",
-        stats.polls(),
-        stats.runs(),
-        stats.relearns(),
-        stats.splits(),
-        stats.merges(),
+        stats.polls,
+        stats.runs,
+        stats.relearns,
+        stats.splits,
+        stats.merges,
         index.num_shards()
     );
 }
@@ -194,10 +204,16 @@ fn readers_vs_background_maintainer_stress() {
 #[test]
 fn apply_batch_vs_maintenance_stress() {
     let rounds = (stress_ops() / 1000).clamp(8, 64);
-    let index = ShardedRma::with_splitters(stress_cfg(4), Splitters::new(vec![2500, 5000, 7500]));
+    let db = Db::builder()
+        .router_workers(1) // engine-only stress: no session traffic
+        .shard_config(stress_cfg(4))
+        .splitter_keys(vec![2500, 5000, 7500])
+        .build()
+        .expect("valid stress config");
+    let index = db.engine();
     let stop = AtomicBool::new(false);
     std::thread::scope(|sc| {
-        let (index, stop) = (&index, &stop);
+        let (index, stop) = (index, &stop);
         sc.spawn(move || {
             while !stop.load(Relaxed) {
                 let _ = index.maintain();
@@ -236,7 +252,12 @@ fn apply_batch_vs_maintenance_stress() {
 #[test]
 fn writer_progress_during_incremental_drain() {
     let base: Vec<(i64, i64)> = (0..40_000).map(|k| (k, k)).collect();
-    let index = ShardedRma::load_bulk(stress_cfg(8), &base);
+    let db = Db::builder()
+        .router_workers(1) // engine-only stress: no session traffic
+        .shard_config(stress_cfg(8))
+        .build_bulk(&base)
+        .expect("valid stress config");
+    let index = db.engine();
     // Build a real multi-step plan: hammer a narrow band so the
     // re-learn planner produces a shard-by-shard rebuild sequence.
     for _ in 0..40 {
@@ -254,7 +275,7 @@ fn writer_progress_during_incremental_drain() {
     let done = AtomicBool::new(false);
     let violations = AtomicU64::new(0);
     std::thread::scope(|sc| {
-        let (index, done, violations) = (&index, &done, &violations);
+        let (index, done, violations) = (index, &done, &violations);
         let writer = sc.spawn(move || {
             let mut rng = SplitMix64::new(0xAB5E11);
             let mut inserts = 0u64;
@@ -322,11 +343,17 @@ proptest! {
         key in 0i64..1000,
         filler in 1i64..100_000, // non-zero: the churn key must differ from `key`
     ) {
-        let index = ShardedRma::with_splitters(stress_cfg(2), Splitters::new(vec![500_000]));
+        let db = Db::builder()
+            .router_workers(1) // engine-only stress: no session traffic
+        .shard_config(stress_cfg(2))
+            .splitter_keys(vec![500_000])
+            .build()
+            .expect("valid stress config");
+        let index = db.engine();
         index.insert(key, 0);
         let done = AtomicBool::new(false);
         std::thread::scope(|sc| {
-            let (index, done) = (&index, &done);
+            let (index, done) = (index, &done);
             let reader = sc.spawn(move || {
                 let mut last = 0i64;
                 let mut samples = 0u64;

@@ -5,8 +5,9 @@
 //! invariants.
 
 use proptest::prelude::*;
+use rma_repro::db::Db;
 use rma_repro::rma::{RewiringMode, Rma, RmaConfig};
-use rma_repro::shard::{RelearnStrategy, ShardConfig, ShardedRma, Splitters};
+use rma_repro::shard::{RelearnStrategy, ShardConfig, Splitters};
 use std::collections::BTreeMap;
 
 /// Number of splitters `<= k` — the routing oracle.
@@ -32,6 +33,20 @@ fn small_sharded(n: usize) -> ShardConfig {
     }
 }
 
+/// Opens the engine under test through the facade (the only
+/// construction path consumers use since the `rma-db` redesign).
+fn sharded_db(cfg: ShardConfig, splitter_keys: Vec<i64>) -> Db {
+    // Engine-only tests drive `db.engine()` directly: one router
+    // worker keeps the hundreds of proptest cases from spawning
+    // threads nothing submits to.
+    Db::builder()
+        .shard_config(cfg)
+        .splitter_keys(splitter_keys)
+        .router_workers(1)
+        .build()
+        .expect("valid test config")
+}
+
 /// Multiset oracle helpers.
 fn oracle_insert(o: &mut BTreeMap<i64, usize>, k: i64) {
     *o.entry(k).or_insert(0) += 1;
@@ -53,8 +68,8 @@ fn oracle_remove_succ(o: &mut BTreeMap<i64, usize>, k: i64) -> Option<i64> {
 
 #[test]
 fn mixed_churn_matches_rma_and_btreemap() {
-    let sharded =
-        ShardedRma::with_splitters(small_sharded(4), Splitters::new(vec![512, 1024, 1536]));
+    let db = sharded_db(small_sharded(4), vec![512, 1024, 1536]);
+    let sharded = db.engine();
     let mut single = Rma::new(small_rma());
     let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
     let mut x = 1234u64;
@@ -127,8 +142,8 @@ fn mixed_churn_matches_rma_and_btreemap() {
 /// multiset oracle after every topology change.
 #[test]
 fn removes_after_split_merge_cycles_match_btreemap() {
-    let sharded =
-        ShardedRma::with_splitters(small_sharded(4), Splitters::new(vec![4000, 8000, 12000]));
+    let db = sharded_db(small_sharded(4), vec![4000, 8000, 12000]);
+    let sharded = db.engine();
     let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
     let mut x = 99u64;
     let mut rand = move || {
@@ -217,7 +232,12 @@ fn apply_batch_matches_unsharded_apply_batch() {
         rma_repro::workloads::KeyStream::new(rma_repro::workloads::Pattern::Uniform, 11)
             .take_pairs(20_000);
     base.sort_unstable();
-    let sharded = ShardedRma::load_bulk(small_sharded(8), &base);
+    let db = Db::builder()
+        .shard_config(small_sharded(8))
+        .router_workers(1)
+        .build_bulk(&base)
+        .expect("valid test config");
+    let sharded = db.engine();
     let mut single = Rma::new(small_rma());
     single.load_bulk(&base);
 
@@ -278,7 +298,8 @@ proptest! {
     ) {
         raw_splitters.sort_unstable();
         raw_splitters.dedup();
-        let sharded = ShardedRma::with_splitters(small_sharded(1), Splitters::new(raw_splitters));
+        let db = sharded_db(small_sharded(1), raw_splitters);
+        let sharded = db.engine();
         for &k in &keys {
             sharded.insert(k, k);
         }
@@ -297,7 +318,8 @@ proptest! {
     ) {
         raw_splitters.sort_unstable();
         raw_splitters.dedup();
-        let sharded = ShardedRma::with_splitters(small_sharded(1), Splitters::new(raw_splitters));
+        let db = sharded_db(small_sharded(1), raw_splitters);
+        let sharded = db.engine();
         let mut single = Rma::new(small_rma());
         for &k in &keys {
             sharded.insert(k, 1);
@@ -395,10 +417,8 @@ proptest! {
         keys in prop::collection::vec(0i64..10_000, 2..400),
         hot_lo in 0i64..9_000,
     ) {
-        let sharded = ShardedRma::with_splitters(
-            small_sharded(1),
-            Splitters::new(vec![2500, 5000, 7500]),
-        );
+        let db = sharded_db(small_sharded(1), vec![2500, 5000, 7500]);
+        let sharded = db.engine();
         for &k in &keys {
             sharded.insert(k, k);
         }
@@ -432,7 +452,8 @@ proptest! {
             let mut cfg = small_sharded(8);
             cfg.relearn_strategy = strategy;
             let splitters: Vec<i64> = (1..8).map(|i| i * 2500).collect();
-            let s = ShardedRma::with_splitters(cfg, Splitters::new(splitters));
+            let db = sharded_db(cfg, splitters);
+            let s = db.engine();
             for &k in &keys {
                 s.insert(k, k);
             }
@@ -479,8 +500,14 @@ proptest! {
     fn load_bulk_equals_inserts(mut keys in prop::collection::vec(0i64..5000, 1..500)) {
         keys.sort_unstable();
         let batch: Vec<(i64, i64)> = keys.iter().map(|&k| (k, -k)).collect();
-        let bulk = ShardedRma::load_bulk(small_sharded(4), &batch);
-        let singles = ShardedRma::with_splitters(small_sharded(1), bulk.splitters());
+        let bulk_db = Db::builder()
+            .shard_config(small_sharded(4))
+            .router_workers(1)
+            .build_bulk(&batch)
+            .expect("valid test config");
+        let bulk = bulk_db.engine();
+        let singles_db = sharded_db(small_sharded(1), bulk.splitters().keys().to_vec());
+        let singles = singles_db.engine();
         for &(k, v) in &batch {
             singles.insert(k, v);
         }

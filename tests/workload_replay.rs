@@ -30,6 +30,7 @@
 //! 5. a uniform workload triggers zero topology churn — the
 //!    re-learning stability guard holds (and plans zero steps).
 
+use rma_repro::db::Db;
 use rma_repro::rma::{RewiringMode, RmaConfig};
 use rma_repro::shard::{BalancePolicy, RelearnStrategy, ShardConfig, ShardedRma};
 use rma_repro::workloads::{
@@ -107,7 +108,7 @@ fn run_replay(
     motion: HotspotMotion,
     shards: usize,
     first_half_maintains: u64,
-) -> (Vec<f64>, ShardedRma) {
+) -> (Vec<f64>, Db) {
     let mut ops = ShiftingHotspot::new(
         HotspotConfig {
             phase_len: PHASE_OPS,
@@ -123,7 +124,12 @@ fn run_replay(
             .collect()
     };
     base.sort_unstable();
-    let index = ShardedRma::load_bulk(replay_config(relearn, strategy, shards), &base);
+    let db = Db::builder()
+        .shard_config(replay_config(relearn, strategy, shards))
+        .router_workers(1) // engine-only replay: no session traffic
+        .build_bulk(&base)
+        .expect("valid replay config");
+    let index = db.engine();
     let mut oracle: BTreeMap<i64, usize> = BTreeMap::new();
     for &(k, _) in &base {
         oracle_insert(&mut oracle, k);
@@ -160,7 +166,7 @@ fn run_replay(
         let mut done = 0;
         while done < half {
             let n = chunk.min(half - done);
-            run_half(n, &index, &mut oracle);
+            run_half(n, index, &mut oracle);
             done += n;
             if done < half {
                 index.maintain();
@@ -169,7 +175,7 @@ fn run_replay(
         index.maintain();
         index.check_invariants();
         index.reset_access_stats();
-        run_half(PHASE_OPS - half, &index, &mut oracle);
+        run_half(PHASE_OPS - half, index, &mut oracle);
         imbalances.push(index.access_imbalance());
     }
 
@@ -180,7 +186,7 @@ fn run_replay(
         .flat_map(|(&k, &c)| std::iter::repeat_n(k, c))
         .collect();
     assert_eq!(got, want, "replay content diverged from the oracle");
-    (imbalances, index)
+    (imbalances, db)
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -207,8 +213,8 @@ fn relearning_halves_hotspot_imbalance_deterministically() {
     // (a) Identical op stream + oracle-checked: both runs must agree
     // with each other too.
     assert_eq!(
-        base_index.collect_all(),
-        relearn_index.collect_all(),
+        base_index.engine().collect_all(),
+        relearn_index.engine().collect_all(),
         "maintenance policy must never change content"
     );
 
@@ -222,7 +228,7 @@ fn relearning_halves_hotspot_imbalance_deterministically() {
     );
     // The re-learned topology must actually differ from the uniform
     // start (it adapted), and hold more than one shard.
-    assert!(relearn_index.num_shards() > 1);
+    assert!(relearn_index.engine().num_shards() > 1);
 }
 
 /// Plan-equivalence acceptance bar: draining the incremental relearn
@@ -235,8 +241,8 @@ fn incremental_drain_matches_monolithic_within_ten_percent() {
         let (mono, mono_index) = run_replay(true, RelearnStrategy::Monolithic, motion, SHARDS, 1);
         let (inc, inc_index) = run_replay(true, RelearnStrategy::Incremental, motion, SHARDS, 1);
         assert_eq!(
-            mono_index.collect_all(),
-            inc_index.collect_all(),
+            mono_index.engine().collect_all(),
+            inc_index.engine().collect_all(),
             "strategies must never change content"
         );
         let (mm, mi) = (mean(&mono), mean(&inc));
@@ -292,18 +298,20 @@ fn nudges_beat_full_rebuilds_on_drift() {
         mn / mb
     );
     // The full runs actually re-learned (the comparison is real).
-    assert!(full_index.maintenance_stats().topologies_published > 0);
-    assert!(nudge_index.maintenance_stats().nudges > 0);
+    assert!(full_index.engine().maintenance_stats().topologies_published > 0);
+    assert!(nudge_index.engine().maintenance_stats().nudges > 0);
 }
 
 #[test]
 fn uniform_workload_triggers_zero_topology_churn() {
     let mut base: Vec<(i64, i64)> = KeyStream::new(Pattern::Uniform, SEED).take_pairs(8192);
     base.sort_unstable();
-    let index = ShardedRma::load_bulk(
-        replay_config(true, RelearnStrategy::Incremental, SHARDS),
-        &base,
-    );
+    let db = Db::builder()
+        .shard_config(replay_config(true, RelearnStrategy::Incremental, SHARDS))
+        .router_workers(1) // engine-only replay: no session traffic
+        .build_bulk(&base)
+        .expect("valid replay config");
+    let index = db.engine();
     let splitters_start = index.splitters();
 
     let mut ops = KeyStream::new(Pattern::Uniform, SEED ^ 1);
