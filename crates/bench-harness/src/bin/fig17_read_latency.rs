@@ -150,7 +150,7 @@ fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
     let mut inline_runs = 0u64;
     let mut inline_relearns = 0u64;
     let idx = db.engine();
-    let mut log = drive_recorded(
+    let log = drive_recorded(
         ops,
         &mut mix,
         |k| {
@@ -180,8 +180,8 @@ fn run(cli: &Cli, dist: Dist, mode: Mode) -> Row {
     Row {
         dist,
         mode,
-        reads: summarize(&mut log.reads),
-        writes: summarize(&mut log.writes),
+        reads: summarize(&log.reads),
+        writes: summarize(&log.writes),
         maintain_runs,
         relearns,
         shards_after: idx.num_shards(),

@@ -161,7 +161,7 @@ fn run(cli: &Cli, mode: Mode) -> Row {
     let mut mix = ReadWriteMix::new(move || hs.next_key(), 0.0, cli.seed ^ 0xC01D_C0FE);
 
     let idx = db.engine();
-    let mut log = drive_recorded(ops, &mut mix, |_| {}, |k, v| idx.insert(k, v), |_| 0);
+    let log = drive_recorded(ops, &mut mix, |_| {}, |k, v| idx.insert(k, v), |_| 0);
 
     let (maintain_runs, relearns) = match db.stop_maintenance() {
         Some(stats) => (stats.runs, stats.relearns),
@@ -171,7 +171,7 @@ fn run(cli: &Cli, mode: Mode) -> Row {
     let mstats = idx.maintenance_stats();
     Row {
         mode,
-        writes: summarize(&mut log.writes),
+        writes: summarize(&log.writes),
         maintain_runs,
         relearns,
         steps_executed: mstats.steps_executed,

@@ -57,11 +57,16 @@ pub fn fmt_bytes(bytes: usize) -> String {
     format!("{:.2} {}", x, UNITS[u])
 }
 
-/// Streaming latency reservoir: records per-op durations in
-/// nanoseconds and reports percentiles (§V "costs of rebalances").
+/// Streaming latency reservoir: per-op durations in nanoseconds go
+/// into the shared [`rma_obs::Histogram`] and come back out as
+/// percentiles (§V "costs of rebalances") — the same quantile
+/// implementation `Db::metrics()` reports, so driver output and
+/// production metrics agree. Quantiles carry the histogram's ≤ 1/16
+/// relative bucket error; `max` stays exact. O(1) memory regardless
+/// of sample count.
 #[derive(Debug, Default)]
 pub struct LatencyRecorder {
-    samples: Vec<u64>,
+    hist: rma_obs::Histogram,
 }
 
 impl LatencyRecorder {
@@ -73,31 +78,28 @@ impl LatencyRecorder {
     /// Records a sample in nanoseconds.
     #[inline]
     pub fn record(&mut self, nanos: u64) {
-        self.samples.push(nanos);
+        self.hist.record(nanos);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.hist.count() as usize
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.hist.is_empty()
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds.
     pub fn quantile(&mut self, q: f64) -> u64 {
-        assert!(!self.samples.is_empty());
-        assert!((0.0..=1.0).contains(&q));
-        self.samples.sort_unstable();
-        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
-        self.samples[idx]
+        assert!(!self.is_empty());
+        self.hist.snapshot().quantile(q)
     }
 
-    /// The maximum sample in nanoseconds.
+    /// The maximum sample in nanoseconds (exact).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.hist.snapshot().max()
     }
 }
 
@@ -217,8 +219,10 @@ mod tests {
             r.record(i);
         }
         assert_eq!(r.quantile(0.0), 1);
-        assert_eq!(r.quantile(1.0), 100);
-        assert_eq!(r.quantile(0.99), 99);
+        assert_eq!(r.quantile(1.0), 100, "top quantile is the exact max");
+        // Interior quantiles carry the histogram's bucket error.
+        let p99 = r.quantile(0.99);
+        assert!((93..=99).contains(&p99), "p99 {p99} off by > 1/16");
         assert_eq!(r.max(), 100);
         assert_eq!(r.len(), 100);
     }

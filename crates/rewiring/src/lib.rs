@@ -25,6 +25,7 @@
 //! `memcpy` per page — exactly the auxiliary-buffer rebalance the
 //! paper's `-RWR` ablation measures (Fig. 13b).
 
+pub mod clock;
 mod heap;
 #[cfg(target_os = "linux")]
 mod libc;
@@ -32,6 +33,7 @@ mod libc;
 mod mmap;
 mod vec;
 
+pub use clock::monotonic_ns;
 pub use vec::{BackendKind, RewireOptions, RewiredVec, Scalar};
 
 /// Reports whether true (syscall-backed) rewiring works in this

@@ -17,6 +17,14 @@ pub type size_t = usize;
 
 pub const _SC_PAGESIZE: c_int = 30;
 
+pub const CLOCK_MONOTONIC: c_int = 1;
+
+#[repr(C)]
+pub struct timespec {
+    pub tv_sec: c_long,
+    pub tv_nsec: c_long,
+}
+
 pub const PROT_NONE: c_int = 0;
 pub const PROT_READ: c_int = 1;
 pub const PROT_WRITE: c_int = 2;
@@ -42,6 +50,7 @@ pub const SYS_memfd_create: c_long = 319;
 pub const SYS_memfd_create: c_long = 279;
 
 extern "C" {
+    pub fn clock_gettime(clockid: c_int, tp: *mut timespec) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
     pub fn syscall(num: c_long, ...) -> c_long;
     pub fn mmap(

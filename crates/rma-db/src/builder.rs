@@ -1,6 +1,7 @@
 //! [`DbBuilder`]: the one entry point for configuring and opening a
 //! [`Db`], with every input validated up front.
 
+use crate::metrics::ObsConfig;
 use crate::Db;
 use rma_core::{Key, RmaConfig, Value};
 use rma_shard::{
@@ -66,6 +67,7 @@ pub struct DbBuilder {
     splitter_keys: Option<Vec<Key>>,
     maintenance: Option<MaintainerConfig>,
     router_workers: Option<usize>,
+    observability: Option<ObsConfig>,
 }
 
 impl DbBuilder {
@@ -174,6 +176,15 @@ impl DbBuilder {
         self
     }
 
+    /// Observability configuration (latency histograms, maintenance
+    /// event journal; see [`ObsConfig`]). Recording is **on by
+    /// default**; pass `ObsConfig { enabled: false, .. }` for
+    /// zero-instrumentation benchmark baselines.
+    pub fn observability(mut self, cfg: ObsConfig) -> Self {
+        self.observability = Some(cfg);
+        self
+    }
+
     /// Validates every input and resolves the worker count.
     fn validate(&self) -> Result<usize, ConfigError> {
         self.shard.try_validate()?;
@@ -204,7 +215,12 @@ impl DbBuilder {
             Some(keys) => ShardedRma::with_splitters(self.shard, Splitters::new(keys)),
             None => ShardedRma::new(self.shard),
         };
-        Ok(Db::assemble(engine, workers, self.maintenance))
+        Ok(Db::assemble(
+            engine,
+            workers,
+            self.maintenance,
+            self.observability.unwrap_or_default(),
+        ))
     }
 
     /// Opens a database bulk-loaded from a batch sorted by key;
@@ -219,6 +235,7 @@ impl DbBuilder {
             ShardedRma::load_bulk(self.shard, batch),
             workers,
             self.maintenance,
+            self.observability.unwrap_or_default(),
         ))
     }
 
@@ -233,6 +250,7 @@ impl DbBuilder {
             ShardedRma::from_sample(self.shard, sample),
             workers,
             self.maintenance,
+            self.observability.unwrap_or_default(),
         ))
     }
 }

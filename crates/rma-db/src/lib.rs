@@ -81,12 +81,15 @@
 //! ```
 
 mod builder;
+mod metrics;
 mod router;
 mod session;
 
 pub use builder::{ConfigError, DbBuilder};
+pub use metrics::{MetricsSnapshot, ObsConfig, OP_LATENCY_NAMES};
 pub use session::{Op, Reply, Session, Ticket};
 
+use metrics::RouterObs;
 use rma_core::{Key, Value};
 use rma_shard::{Maintainer, MaintainerConfig, MaintainerStats, ShardedRma};
 use router::Router;
@@ -117,12 +120,18 @@ impl Db {
     /// Assembles the handle from a validated configuration (all
     /// finishers of [`DbBuilder`] land here).
     pub(crate) fn assemble(
-        engine: ShardedRma,
+        mut engine: ShardedRma,
         workers: usize,
         maintenance: Option<MaintainerConfig>,
+        obs: ObsConfig,
     ) -> Db {
+        engine.set_observability(obs.enabled, obs.journal_capacity);
         let engine = Arc::new(engine);
-        let router = Router::start(&engine, workers);
+        let router = Router::start(
+            &engine,
+            workers,
+            Arc::new(RouterObs::new(obs.enabled, obs.sample_every)),
+        );
         let (maintainer, maintainer_stats) = match maintenance {
             Some(cfg) => {
                 let m = engine.start_maintainer(cfg);
@@ -155,6 +164,7 @@ impl Db {
             senders: self.router.clone_senders(),
             engine: &self.engine,
             counters,
+            obs: Arc::clone(self.router.obs()),
             splitters: self.engine.splitters(),
             submits_since_refresh: 0,
         }
@@ -190,6 +200,30 @@ impl Db {
                 ops_submitted: c.ops_submitted.load(Relaxed),
                 ops_executed: c.ops_executed.load(Relaxed),
             },
+        }
+    }
+
+    /// Everything the stack measures in one read: the [`DbSnapshot`]
+    /// counters plus the latency/size distributions (per-op-type
+    /// service latency, batch size, queue depth, batch wall time,
+    /// maintenance step and tick durations) and the retained tail of
+    /// the maintenance event journal. Render with
+    /// [`MetricsSnapshot::render_text`] (Prometheus-style text
+    /// exposition) or `Display` (human-readable report). With
+    /// observability disabled the distributions are empty and the
+    /// journal has no events; the counter snapshot is always live.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let robs = self.router.obs();
+        let eobs = self.engine.obs();
+        MetricsSnapshot {
+            db: self.stats(),
+            op_latency: std::array::from_fn(|i| robs.op_latency[i].snapshot()),
+            batch_size: robs.batch_size.snapshot(),
+            queue_depth: robs.queue_depth.snapshot(),
+            ticket_wait: robs.ticket_wait.snapshot(),
+            step_duration: eobs.step_duration(),
+            maint_tick: eobs.maint_tick(),
+            journal: eobs.journal().snapshot(),
         }
     }
 

@@ -15,7 +15,9 @@
 //! incomplete) and exits when its channel disconnects, and the drop
 //! joins the threads.
 
+use crate::metrics::{op_index, RouterObs};
 use crate::session::{Op, Reply, TicketState};
+use rma_obs::EventKind;
 use rma_shard::ShardedRma;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -59,11 +61,12 @@ pub(crate) struct Router {
     senders: Mutex<Vec<Sender<WorkItem>>>,
     workers: Vec<JoinHandle<()>>,
     counters: Arc<RouterCounters>,
+    obs: Arc<RouterObs>,
 }
 
 impl Router {
     /// Spawns `workers` threads executing against `engine`.
-    pub(crate) fn start(engine: &Arc<ShardedRma>, workers: usize) -> Router {
+    pub(crate) fn start(engine: &Arc<ShardedRma>, workers: usize, obs: Arc<RouterObs>) -> Router {
         debug_assert!(workers >= 1, "validated by the builder");
         let counters = Arc::new(RouterCounters::default());
         let mut senders = Vec::with_capacity(workers);
@@ -72,10 +75,11 @@ impl Router {
             let (tx, rx) = channel::<WorkItem>();
             let engine = Arc::clone(engine);
             let counters = Arc::clone(&counters);
+            let obs = Arc::clone(&obs);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rma-db-router-{w}"))
-                    .spawn(move || worker_loop(&engine, &rx, &counters))
+                    .spawn(move || worker_loop(&engine, &rx, &counters, &obs))
                     .expect("spawn router worker"),
             );
             senders.push(tx);
@@ -84,6 +88,7 @@ impl Router {
             senders: Mutex::new(senders),
             workers: handles,
             counters,
+            obs,
         }
     }
 
@@ -93,6 +98,10 @@ impl Router {
 
     pub(crate) fn counters(&self) -> &Arc<RouterCounters> {
         &self.counters
+    }
+
+    pub(crate) fn obs(&self) -> &Arc<RouterObs> {
+        &self.obs
     }
 
     /// Clones the sender set for a fresh session.
@@ -110,8 +119,43 @@ impl Drop for Router {
     }
 }
 
-fn worker_loop(engine: &ShardedRma, rx: &Receiver<WorkItem>, counters: &RouterCounters) {
+fn worker_loop(
+    engine: &ShardedRma,
+    rx: &Receiver<WorkItem>,
+    counters: &RouterCounters,
+    obs: &RouterObs,
+) {
+    let timed = obs.enabled;
+    let sample_every = obs.sample_every;
+    // Sampling countdown, carried across batches so the sampled op
+    // rate is exactly 1-in-`sample_every` regardless of batch sizes.
+    // Starts at 1 so short-lived workloads still get a sample.
+    let mut countdown: u32 = 1;
+    // Brackets `run()` with a clock-read pair when this op is the one
+    // in `sample_every` that gets timed; otherwise just runs it. A
+    // clock read costs a meaningful fraction of a point lookup, so
+    // the untimed arm must stay a decrement and a branch.
+    let mut exec_op = |engine: &ShardedRma, op: Op| -> Reply {
+        if !timed {
+            return exec(engine, op);
+        }
+        countdown -= 1;
+        if countdown == 0 {
+            countdown = sample_every;
+            let idx = op_index(&op);
+            let t0 = rma_obs::now_ns();
+            let reply = exec(engine, op);
+            let t1 = rma_obs::now_ns();
+            obs.op_latency[idx].record(t1.saturating_sub(t0));
+            reply
+        } else {
+            exec(engine, op)
+        }
+    };
     while let Ok(WorkItem { ticket, chunk }) = rx.recv() {
+        if timed {
+            obs.pending.fetch_sub(1, Relaxed);
+        }
         // An engine panic mid-chunk must not strand the batch's
         // waiters on the condvar forever: poison the ticket so
         // `wait()` propagates the failure, and keep this worker
@@ -119,14 +163,14 @@ fn worker_loop(engine: &ShardedRma, rx: &Receiver<WorkItem>, counters: &RouterCo
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match chunk {
             WorkChunk::Whole(ops) => {
                 let n = ops.len() as u64;
-                let replies = ops.into_iter().map(|op| exec(engine, op)).collect();
+                let replies = ops.into_iter().map(|op| exec_op(engine, op)).collect();
                 counters.ops_executed.fetch_add(n, Relaxed);
                 ticket.complete_whole(replies);
             }
             WorkChunk::Partial(ops) => {
                 let mut filled = Vec::with_capacity(ops.len());
                 for (slot, op) in ops {
-                    filled.push((slot, exec(engine, op)));
+                    filled.push((slot, exec_op(engine, op)));
                 }
                 counters
                     .ops_executed
@@ -135,6 +179,14 @@ fn worker_loop(engine: &ShardedRma, rx: &Receiver<WorkItem>, counters: &RouterCo
             }
         }));
         if outcome.is_err() {
+            // One poisoned ticket per panicking chunk: journal it so
+            // the event shows up next to the maintenance history.
+            if engine.obs().enabled() {
+                engine
+                    .obs()
+                    .journal()
+                    .log(EventKind::WorkerPanic, rma_obs::Event::NO_SHARD, 0, 1);
+            }
             ticket.poison();
         }
     }

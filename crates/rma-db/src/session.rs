@@ -20,6 +20,7 @@
 //! strict happens-before edge between two batches, `wait()` the
 //! first ticket before submitting the second.
 
+use crate::metrics::RouterObs;
 use crate::router::{RouterCounters, WorkChunk, WorkItem};
 use rma_core::{Key, Value};
 use rma_shard::{ShardedRma, Splitters};
@@ -106,6 +107,10 @@ pub enum Reply {
 pub(crate) struct TicketState {
     slots: Mutex<TicketSlots>,
     done: Condvar,
+    /// Present only when observability is on: the submit timestamp
+    /// and the histogram the batch's wall time is recorded into when
+    /// the last reply lands.
+    obs: Option<(u64, Arc<RouterObs>)>,
 }
 
 struct TicketSlots {
@@ -139,7 +144,7 @@ impl TicketSlots {
 }
 
 impl TicketState {
-    pub(crate) fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize, obs: Option<(u64, Arc<RouterObs>)>) -> Self {
         TicketState {
             slots: Mutex::new(TicketSlots {
                 total: n,
@@ -149,6 +154,16 @@ impl TicketState {
                 sparse: Vec::new(),
             }),
             done: Condvar::new(),
+            obs,
+        }
+    }
+
+    /// Records the batch's submit-to-completion wall time; called
+    /// exactly once, when `remaining` hits zero.
+    fn record_wait(&self) {
+        if let Some((submitted_ns, obs)) = &self.obs {
+            obs.ticket_wait
+                .record(rma_obs::now_ns().saturating_sub(*submitted_ns));
         }
     }
 
@@ -169,6 +184,7 @@ impl TicketState {
         s.remaining -= replies.len();
         s.whole = Some(replies);
         if s.remaining == 0 {
+            self.record_wait();
             self.done.notify_all();
         }
     }
@@ -187,6 +203,7 @@ impl TicketState {
             debug_assert!(prev.is_none(), "slot {slot} completed twice");
         }
         if s.remaining == 0 {
+            self.record_wait();
             self.done.notify_all();
         }
     }
@@ -269,6 +286,7 @@ pub struct Session<'db> {
     pub(crate) senders: Vec<Sender<WorkItem>>,
     pub(crate) engine: &'db ShardedRma,
     pub(crate) counters: &'db RouterCounters,
+    pub(crate) obs: Arc<RouterObs>,
     pub(crate) splitters: Splitters,
     pub(crate) submits_since_refresh: u32,
 }
@@ -281,7 +299,12 @@ impl Session<'_> {
     /// worker. Submit freely before waiting — pipelining submits is
     /// the point of the session API.
     pub fn submit(&mut self, ops: &[Op]) -> Ticket {
-        let state = Arc::new(TicketState::new(ops.len()));
+        let obs = if self.obs.enabled && !ops.is_empty() {
+            Some((rma_obs::now_ns(), Arc::clone(&self.obs)))
+        } else {
+            None
+        };
+        let state = Arc::new(TicketState::new(ops.len(), obs));
         if ops.is_empty() {
             return Ticket { state };
         }
@@ -290,6 +313,9 @@ impl Session<'_> {
         self.counters
             .ops_submitted
             .fetch_add(ops.len() as u64, Relaxed);
+        if self.obs.enabled {
+            self.obs.batch_size.record(ops.len() as u64);
+        }
         let workers = self.senders.len();
         if workers == 1 {
             self.send(0, &state, WorkChunk::Whole(ops.to_vec()));
@@ -323,6 +349,12 @@ impl Session<'_> {
     }
 
     fn send(&self, worker: usize, state: &Arc<TicketState>, chunk: WorkChunk) {
+        if self.obs.enabled {
+            // Depth *after* this send: how much work a new arrival
+            // queues behind, the saturation signal.
+            let depth = self.obs.pending.fetch_add(1, Relaxed) + 1;
+            self.obs.queue_depth.record(depth);
+        }
         self.senders[worker]
             .send(WorkItem {
                 ticket: Arc::clone(state),

@@ -1,0 +1,328 @@
+//! The lock-free latency histogram: log2 major buckets with 16
+//! linear sub-buckets each (HdrHistogram's layout, reduced to what a
+//! latency metric needs), every counter an `AtomicU64`.
+//!
+//! Recording is one `leading_zeros`, two shifts and three relaxed
+//! `fetch_add`s — cheap enough to leave on in the serving path. The
+//! sub-bucket split bounds the relative quantile error at 1/16
+//! (~6 %): pure power-of-two buckets would make adjacent buckets 2×
+//! apart, far too coarse for the p99-ratio acceptance bars the bench
+//! drivers track. [`HistogramSnapshot`] is the frozen copy used for
+//! reporting: quantile estimation by cumulative walk with in-bucket
+//! linear interpolation, exact count/sum/mean/max, and lossless
+//! count-preserving [`merge`](HistogramSnapshot::merge).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-buckets per power of two (and the value range tracked exactly).
+const SUB: usize = 16;
+/// Bucket count: values 0..16 exact, then 16 sub-buckets for each of
+/// the 60 remaining octaves of the u64 range.
+const BUCKETS: usize = SUB + 60 * SUB;
+
+/// Index of the bucket containing `v`. Monotonic in `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let m = 63 - v.leading_zeros() as usize; // >= 4
+        (m - 3) * SUB + ((v >> (m - 4)) & 15) as usize
+    }
+}
+
+/// Smallest value landing in bucket `i`.
+#[inline]
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let m = i / SUB + 3;
+        ((SUB + i % SUB) as u64) << (m - 4)
+    }
+}
+
+/// Largest value landing in bucket `i`.
+#[inline]
+fn bucket_hi(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(i + 1) - 1
+    }
+}
+
+/// A mergeable, lock-free latency histogram. Concurrent [`record`]
+/// calls from any number of threads never drop an increment; reads go
+/// through [`snapshot`](Self::snapshot).
+///
+/// [`record`]: Self::record
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (~7.6 KiB of counters).
+    pub fn new() -> Self {
+        // `[AtomicU64; N]` has no Default past 32; build through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: v.try_into().expect("BUCKETS-sized vec"),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds, by convention).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// A frozen copy for reporting. Concurrent recording may land
+    /// between the bucket reads and the total; the snapshot derives
+    /// its totals from the buckets so it is always self-consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state: quantiles, totals, merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact), `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by cumulative walk
+    /// with linear interpolation inside the landing bucket — the
+    /// estimate always lies inside the bucket holding the true
+    /// rank-`⌈q·n⌉` sample (relative error ≤ 1/16). Returns `0` on an
+    /// empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = (bucket_lo(i), bucket_hi(i).min(self.max));
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo + ((hi - lo) as f64 * within) as u64;
+                return est.min(self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds `other`'s buckets and totals into `self`. Lossless for
+    /// counts and sums: `merge(a, b).count() == a.count() + b.count()`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(lo, hi, count)` for every non-empty bucket, ascending — the
+    /// exposition hook for cumulative (`le`-labelled) bucket lines.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 15);
+        assert_eq!(s.max(), 15);
+        assert_eq!(s.mean(), 7.5);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v && v <= bucket_hi(i), "v={v} i={i}");
+        }
+        // Indices are monotone and bucket bounds tile the domain.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_hi(i) + 1, bucket_lo(i + 1), "gap at bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let est = s.quantile(q);
+            let err = est.abs_diff(truth) as f64 / truth as f64;
+            assert!(err <= 1.0 / 16.0 + 0.001, "q={q}: est {est} vs {truth}");
+        }
+        assert_eq!(s.quantile(1.0), 10_000, "q=1 returns the exact max");
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_lossless_for_counts_and_sums() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for v in 0..1000u64 {
+            a.record(v * 3);
+            b.record(v * 7 + 1);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        assert_eq!(merged.count(), sa.count() + sb.count());
+        assert_eq!(merged.sum(), sa.sum() + sb.sum());
+        assert_eq!(merged.max(), sa.max().max(sb.max()));
+    }
+
+    #[test]
+    fn concurrent_recording_never_drops_increments() {
+        let h = Histogram::new();
+        const THREADS: u64 = 4;
+        const PER: u64 = 50_000;
+        std::thread::scope(|sc| {
+            for t in 0..THREADS {
+                let h = &h;
+                sc.spawn(move || {
+                    for i in 0..PER {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS * PER);
+    }
+}

@@ -1,0 +1,180 @@
+//! Named counters and gauges behind a process-wide static registry.
+//!
+//! Metrics are registered once by name and live for the life of the
+//! process (`Box::leak`), so the hot path holds a `&'static Counter`
+//! and pays exactly one relaxed `fetch_add` — the registry lock is
+//! touched only at registration and exposition time. Per-instance
+//! metrics (one `Db`'s op histograms) stay on their owning structs;
+//! the registry is for process-global facts such as totals across
+//! every engine in the process.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, resident shards, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raises the level by `n` and returns the new value.
+    #[inline]
+    pub fn add(&self, n: i64) -> i64 {
+        self.0.fetch_add(n, Relaxed) + n
+    }
+
+    /// Lowers the level by `n` and returns the new value.
+    #[inline]
+    pub fn sub(&self, n: i64) -> i64 {
+        self.0.fetch_sub(n, Relaxed) - n
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+enum Entry {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+}
+
+/// The process-wide name → metric table. Obtain it via [`registry`].
+pub struct Registry {
+    entries: Mutex<Vec<(&'static str, Entry)>>,
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: Mutex::new(Vec::new()),
+    })
+}
+
+impl Registry {
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a gauge.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut entries = self.entries.lock().unwrap();
+        for (n, e) in entries.iter() {
+            if *n == name {
+                match e {
+                    Entry::Counter(c) => return c,
+                    Entry::Gauge(_) => panic!("{name} is registered as a gauge"),
+                }
+            }
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        entries.push((name, Entry::Counter(c)));
+        c
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut entries = self.entries.lock().unwrap();
+        for (n, e) in entries.iter() {
+            if *n == name {
+                match e {
+                    Entry::Gauge(g) => return g,
+                    Entry::Counter(_) => panic!("{name} is registered as a counter"),
+                }
+            }
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        entries.push((name, Entry::Gauge(g)));
+        g
+    }
+
+    /// Appends one Prometheus-style exposition line per registered
+    /// metric, in registration order.
+    pub fn render_text(&self, out: &mut String) {
+        use std::fmt::Write;
+        let entries = self.entries.lock().unwrap();
+        for (name, e) in entries.iter() {
+            match e {
+                Entry::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {}", c.get());
+                }
+                Entry::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", g.get());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = registry().counter("rma_obs_test_counter_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name yields the same instance.
+        assert_eq!(registry().counter("rma_obs_test_counter_total").get(), 5);
+
+        let g = registry().gauge("rma_obs_test_gauge");
+        g.set(10);
+        assert_eq!(g.add(5), 15);
+        assert_eq!(g.sub(20), -5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn render_text_lists_registered_metrics() {
+        let c = registry().counter("rma_obs_test_render_total");
+        c.add(7);
+        let mut s = String::new();
+        registry().render_text(&mut s);
+        assert!(s.contains("# TYPE rma_obs_test_render_total counter"));
+        assert!(s.contains("rma_obs_test_render_total 7"));
+    }
+}

@@ -113,6 +113,7 @@ mod batch;
 pub mod config;
 pub mod maintainer;
 pub mod maintenance;
+pub mod obs;
 mod optimistic;
 mod scan;
 mod shard;
@@ -125,6 +126,7 @@ pub use maintenance::{
     DrainReport, MaintenancePlan, MaintenanceReport, MaintenanceStep, RelearnReport, ShardStats,
     StepReport,
 };
+pub use obs::EngineObs;
 pub use shard::LockStats;
 pub use splitter::Splitters;
 
@@ -166,6 +168,10 @@ pub struct EngineSnapshot {
     pub read_locks: u64,
     /// Exclusive `RwLock` acquisitions since construction.
     pub write_locks: u64,
+    /// Failed seqlock read attempts since construction (each is one
+    /// retry or one step toward the lock fallback) — the contention
+    /// signal behind flat lock counters.
+    pub seqlock_retries: u64,
     /// The incremental maintenance engine's lifetime counters.
     pub maintenance: MaintenanceStats,
 }
@@ -194,6 +200,8 @@ pub struct ShardedRma {
     /// Counters behind [`maintenance_stats`](Self::maintenance_stats):
     /// bumped by the plan engine and the batch re-route path.
     maint_counters: MaintCounters,
+    /// Event journal + maintenance histograms (see [`EngineObs`]).
+    obs: EngineObs,
 }
 
 /// Internal atomics behind [`MaintenanceStats`].
@@ -207,6 +215,7 @@ pub(crate) struct MaintCounters {
     pub(crate) nudges: AtomicU64,
     pub(crate) max_step_ns: AtomicU64,
     pub(crate) batch_reroutes: AtomicU64,
+    pub(crate) write_reroutes: AtomicU64,
 }
 
 /// Snapshot of the incremental maintenance engine's lifetime
@@ -243,6 +252,9 @@ pub struct MaintenanceStats {
     /// `apply_batch` rounds that had to re-route leftovers after a
     /// step retired their target shard mid-flight.
     pub batch_reroutes: u64,
+    /// Single-key mutations that reached a retired shard and had to
+    /// re-route through a fresh topology.
+    pub write_reroutes: u64,
 }
 
 impl ShardedRma {
@@ -271,7 +283,21 @@ impl ShardedRma {
             decay_period: AtomicU64::new(cfg.decay_every),
             lock_stats,
             maint_counters: MaintCounters::default(),
+            obs: EngineObs::default(),
         }
+    }
+
+    /// The engine's observability state: maintenance event journal
+    /// plus step/tick duration histograms.
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Reconfigures observability. `&mut self`: callers (the `Db`
+    /// builder) do this before the engine is shared, so the hot paths
+    /// can read the flag without synchronization.
+    pub fn set_observability(&mut self, enabled: bool, journal_capacity: usize) {
+        self.obs = EngineObs::new(enabled, journal_capacity);
     }
 
     /// Empty index with splitters learned from a key sample
@@ -397,6 +423,7 @@ impl ShardedRma {
             topologies_published: self.handle.publications(),
             max_step_wall_ns: c.max_step_ns.load(Relaxed),
             batch_reroutes: c.batch_reroutes.load(Relaxed),
+            write_reroutes: c.write_reroutes.load(Relaxed),
         }
     }
 
@@ -413,6 +440,7 @@ impl ShardedRma {
     /// this does not drift the lock-freedom proof counters.
     pub fn stats_snapshot(&self) -> EngineSnapshot {
         let (read_locks, write_locks) = self.lock_acquisitions();
+        let seqlock_retries = self.lock_stats.opt_retries.load(Relaxed);
         let maintenance = self.maintenance_stats();
         let topo = self.topo();
         let mut len = 0usize;
@@ -444,6 +472,7 @@ impl ShardedRma {
             access_imbalance,
             read_locks,
             write_locks,
+            seqlock_retries,
             maintenance,
         }
     }
@@ -536,6 +565,7 @@ impl ShardedRma {
             let shard = &topo.shards[topo.splitters.route(k)];
             let mut guard = shard.write();
             if guard.is_retired() {
+                self.maint_counters.write_reroutes.fetch_add(1, Relaxed);
                 return None;
             }
             let prev = shard.writes.fetch_add(1, Relaxed);

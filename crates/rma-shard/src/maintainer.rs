@@ -270,6 +270,7 @@ fn maintainer_loop(
     stats: &MaintainerStats,
 ) {
     let monolithic = index.config().relearn_strategy == RelearnStrategy::Monolithic;
+    let obs_on = index.obs().enabled();
     let mut last_ops = index.op_count();
     let mut last_maintained_ops = last_ops;
     let mut last_poll = Instant::now();
@@ -286,76 +287,98 @@ fn maintainer_loop(
             break;
         }
         stats.polls.fetch_add(1, Relaxed);
-        let ops = index.op_count();
-        let elapsed = last_poll.elapsed().as_secs_f64();
-        if elapsed > 0.0 {
-            // `reset_access_stats` rewinds the clock; saturate so a
-            // rewind reads as a quiet interval, not a huge rate.
-            index.retune_decay(ops.saturating_sub(last_ops) as f64 / elapsed);
-        }
-        last_poll = Instant::now();
-        // A clock rewind also invalidates the op-based backstop.
-        if ops < last_maintained_ops {
-            last_maintained_ops = ops;
-        }
-        last_ops = ops;
-
-        // Drain an in-flight plan on the tick budget before looking
-        // at the trigger signals again.
-        if let Some(p) = plan.as_mut() {
-            if drain_tick(index, cfg, stop, stats, p) {
-                plan = None;
-                last_maintained_ops = index.op_count();
+        let tick_t0 = if obs_on { rma_obs::now_ns() } else { 0 };
+        let (steps_before, runs_before) = (stats.steps(), stats.runs());
+        'tick: {
+            let ops = index.op_count();
+            let elapsed = last_poll.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                // `reset_access_stats` rewinds the clock; saturate so
+                // a rewind reads as a quiet interval, not a huge rate.
+                index.retune_decay(ops.saturating_sub(last_ops) as f64 / elapsed);
             }
-            continue;
-        }
-
-        let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;
-        // Two trigger signals. Skewed access is throttled by the
-        // `min_ops_between` backstop (churn control). A shard past
-        // the `max_shard_len` length line is normally NOT throttled —
-        // it is an SLO invariant: every operation the oversized shard
-        // absorbs while the maintainer waits makes the split that
-        // must shrink it (the one uncappable step) hold its locks
-        // longer. The exception: if the previous trigger produced an
-        // empty plan (the oversized shard is unplannable, e.g. one
-        // giant duplicate run), the breach falls back to the op
-        // throttle so it cannot re-run the planner every poll.
-        let backstop_breached = (enough_ops || !last_plan_empty)
-            && index
-                .config()
-                .max_shard_len
-                .is_some_and(|m| index.max_shard_len() > m);
-        let triggered =
-            (enough_ops && index.access_imbalance() >= cfg.imbalance_trigger) || backstop_breached;
-        if triggered {
-            if monolithic {
-                // Comparison baseline: the old synchronous pass.
-                let (relearn, rebalance) = index.maintain();
-                stats.runs.fetch_add(1, Relaxed);
-                if relearn.relearned {
-                    stats.relearns.fetch_add(1, Relaxed);
-                }
-                stats.splits.fetch_add(rebalance.splits as u64, Relaxed);
-                stats.merges.fetch_add(rebalance.merges as u64, Relaxed);
-                last_plan_empty = !relearn.relearned && rebalance.splits + rebalance.merges == 0;
-                last_maintained_ops = index.op_count();
-                continue;
+            last_poll = Instant::now();
+            // A clock rewind also invalidates the op-based backstop.
+            if ops < last_maintained_ops {
+                last_maintained_ops = ops;
             }
-            let fresh = index.plan_maintenance();
-            if fresh.is_empty() {
-                // Triggered but nothing worth doing (stability
-                // guards, or an unplannable backstop breach): back
-                // off by the op backstop.
-                last_plan_empty = true;
-                last_maintained_ops = index.op_count();
-            } else {
-                last_plan_empty = false;
-                stats.runs.fetch_add(1, Relaxed);
-                if fresh.relearn_planned() {
-                    stats.relearns.fetch_add(1, Relaxed);
+            last_ops = ops;
+
+            // Drain an in-flight plan on the tick budget before
+            // looking at the trigger signals again.
+            if let Some(p) = plan.as_mut() {
+                if drain_tick(index, cfg, stop, stats, p) {
+                    plan = None;
+                    last_maintained_ops = index.op_count();
                 }
-                plan = Some(fresh);
+                break 'tick;
+            }
+
+            let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;
+            // Two trigger signals. Skewed access is throttled by the
+            // `min_ops_between` backstop (churn control). A shard past
+            // the `max_shard_len` length line is normally NOT
+            // throttled — it is an SLO invariant: every operation the
+            // oversized shard absorbs while the maintainer waits makes
+            // the split that must shrink it (the one uncappable step)
+            // hold its locks longer. The exception: if the previous
+            // trigger produced an empty plan (the oversized shard is
+            // unplannable, e.g. one giant duplicate run), the breach
+            // falls back to the op throttle so it cannot re-run the
+            // planner every poll.
+            let backstop_breached = (enough_ops || !last_plan_empty)
+                && index
+                    .config()
+                    .max_shard_len
+                    .is_some_and(|m| index.max_shard_len() > m);
+            let triggered = (enough_ops && index.access_imbalance() >= cfg.imbalance_trigger)
+                || backstop_breached;
+            if triggered {
+                if monolithic {
+                    // Comparison baseline: the old synchronous pass.
+                    let (relearn, rebalance) = index.maintain();
+                    stats.runs.fetch_add(1, Relaxed);
+                    if relearn.relearned {
+                        stats.relearns.fetch_add(1, Relaxed);
+                    }
+                    stats.splits.fetch_add(rebalance.splits as u64, Relaxed);
+                    stats.merges.fetch_add(rebalance.merges as u64, Relaxed);
+                    last_plan_empty =
+                        !relearn.relearned && rebalance.splits + rebalance.merges == 0;
+                    last_maintained_ops = index.op_count();
+                    break 'tick;
+                }
+                let fresh = index.plan_maintenance();
+                if fresh.is_empty() {
+                    // Triggered but nothing worth doing (stability
+                    // guards, or an unplannable backstop breach): back
+                    // off by the op backstop.
+                    last_plan_empty = true;
+                    last_maintained_ops = index.op_count();
+                } else {
+                    last_plan_empty = false;
+                    stats.runs.fetch_add(1, Relaxed);
+                    if fresh.relearn_planned() {
+                        stats.relearns.fetch_add(1, Relaxed);
+                    }
+                    plan = Some(fresh);
+                }
+            }
+        }
+        if obs_on {
+            let dur = rma_obs::now_ns().saturating_sub(tick_t0);
+            index.obs().record_tick(dur);
+            // Journal only ticks that made progress (drained steps or
+            // created a plan): idle polls would drown the structural
+            // events the bounded ring exists to retain.
+            let steps_done = stats.steps() - steps_before;
+            if steps_done > 0 || stats.runs() > runs_before {
+                index.obs().log(
+                    rma_obs::EventKind::MaintTick,
+                    rma_obs::Event::NO_SHARD,
+                    dur,
+                    steps_done,
+                );
             }
         }
     }

@@ -26,8 +26,19 @@ use super::plan::{MaintenancePlan, MaintenanceStep};
 use crate::shard::{Shard, StepGuards, Topology};
 use crate::{ShardedRma, Splitters};
 use rma_core::Key;
+use rma_obs::EventKind;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// The journal kind for a step.
+fn step_kind(step: &MaintenanceStep) -> EventKind {
+    match step {
+        MaintenanceStep::SplitShard { .. } => EventKind::Split,
+        MaintenanceStep::MergePair { .. } => EventKind::Merge,
+        MaintenanceStep::NudgeBoundary { .. } => EventKind::Nudge,
+        MaintenanceStep::RebuildShard { .. } => EventKind::Rebuild,
+    }
+}
 
 /// What one [`ShardedRma::execute_step`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +83,11 @@ impl ShardedRma {
     /// stale. This is the background maintainer's pacing primitive.
     pub fn execute_step(&self, plan: &mut MaintenancePlan) -> Option<StepReport> {
         let step = plan.pop()?;
+        let obs_on = self.obs().enabled();
+        // Anchor the journal entry to the step's pre-execution shard
+        // index (execution replaces the topology underneath it).
+        let anchor = if obs_on { self.step_anchor(&step) } else { 0 };
+        let t0 = if obs_on { rma_obs::now_ns() } else { 0 };
         let migrated = {
             let _maint = self.maintenance_guard();
             match step {
@@ -93,6 +109,11 @@ impl ShardedRma {
                 counters.keys_migrated.fetch_add(moved, Relaxed);
                 if matches!(step, MaintenanceStep::NudgeBoundary { .. }) {
                     counters.nudges.fetch_add(1, Relaxed);
+                }
+                if obs_on {
+                    let dur = rma_obs::now_ns().saturating_sub(t0);
+                    self.obs().record_step(dur);
+                    self.obs().log(step_kind(&step), anchor, dur, moved);
                 }
                 Some(StepReport {
                     step,
@@ -130,19 +151,44 @@ impl ShardedRma {
         report
     }
 
+    /// The shard index a step's journal entry is anchored to, on the
+    /// topology current *before* execution (the left shard for merges
+    /// and nudges).
+    fn step_anchor(&self, step: &MaintenanceStep) -> u32 {
+        let topo = self.topo();
+        match *step {
+            MaintenanceStep::SplitShard { at } => topo.splitters.route(at) as u32,
+            MaintenanceStep::MergePair { splitter } => {
+                topo.splitters.route(splitter).saturating_sub(1) as u32
+            }
+            MaintenanceStep::NudgeBoundary { from, .. } => from as u32,
+            MaintenanceStep::RebuildShard { lo, .. } => {
+                lo.map_or(0, |l| topo.splitters.route(l)) as u32
+            }
+        }
+    }
+
     /// Retires the drained shards, publishes the successor topology,
     /// releases the step's locks, and waits out the reader grace
     /// period — the shared tail of every step.
     fn publish_step(&self, guards: StepGuards<'_>, next: Topology) {
         guards.retire_all();
+        let next_shards = next.shards.len() as u64;
         let retired = self.topo_handle().publish(next);
         // The locked window ends here: record it just before release.
         // Shell pre-creation and the grace wait below run outside the
         // locks, so they are deliberately *not* part of this stat —
         // it bounds what a queued writer could have waited.
+        let held_ns = guards.held().as_nanos() as u64;
         self.maint_counters()
             .max_step_ns
-            .fetch_max(guards.held().as_nanos() as u64, Relaxed);
+            .fetch_max(held_ns, Relaxed);
+        self.obs().log(
+            EventKind::TopologyPublish,
+            rma_obs::Event::NO_SHARD,
+            held_ns,
+            next_shards,
+        );
         // Release the shard locks before the grace wait: queued
         // writers must be able to wake and re-route.
         drop(guards);

@@ -342,6 +342,14 @@ impl ShardedRma {
             let c = self.maint_counters();
             c.plans.fetch_add(1, Relaxed);
             c.steps_planned.fetch_add(steps.len() as u64, Relaxed);
+            if relearn {
+                self.obs().log(
+                    rma_obs::EventKind::Relearn,
+                    rma_obs::Event::NO_SHARD,
+                    0,
+                    steps.len() as u64,
+                );
+            }
         }
         MaintenancePlan {
             relearn_planned: relearn && !steps.is_empty(),

@@ -50,7 +50,10 @@
 
 use crate::shard::{Shard, Topology};
 use rma_core::Rma;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{
+    AtomicPtr, AtomicU64,
+    Ordering::{Relaxed, SeqCst},
+};
 
 /// Optimistic attempts per operation before falling back to the
 /// shard `RwLock`.
@@ -79,6 +82,7 @@ impl Shard {
     /// [`OPTIMISTIC_RETRIES`] failed attempts (caller falls back to
     /// the lock). See the module docs for the protocol.
     pub(crate) fn try_optimistic<R>(&self, mut f: impl FnMut(&Rma) -> R) -> Option<R> {
+        let mut failed = 0u64;
         for _ in 0..OPTIMISTIC_RETRIES {
             let pin = ShardPin::new(&self.opt_pins);
             let v1 = self.seq.load(SeqCst);
@@ -90,13 +94,18 @@ impl Shard {
                 let v2 = self.seq.load(SeqCst);
                 drop(pin);
                 if v1 == v2 {
+                    if failed > 0 {
+                        self.lock_stats().opt_retries.fetch_add(failed, Relaxed);
+                    }
                     return Some(out);
                 }
             } else {
                 drop(pin);
             }
+            failed += 1;
             std::hint::spin_loop();
         }
+        self.lock_stats().opt_retries.fetch_add(failed, Relaxed);
         None
     }
 }

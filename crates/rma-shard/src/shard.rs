@@ -57,6 +57,10 @@ pub struct LockStats {
     pub read_locks: AtomicU64,
     /// Exclusive (write) shard-lock acquisitions.
     pub write_locks: AtomicU64,
+    /// Failed seqlock read attempts (writer interference observed
+    /// before the retry or the lock fallback) — the contention signal
+    /// complementing the two lock counters.
+    pub opt_retries: AtomicU64,
 }
 
 /// A single key-range shard. Rebalances and resizes inside the inner
@@ -125,6 +129,11 @@ impl Shard {
     /// protocol documented on [`Shard`].
     pub(crate) fn rma_ptr(&self) -> *mut Rma {
         self.cell.get()
+    }
+
+    /// The index-wide lock/contention counters this shard feeds.
+    pub(crate) fn lock_stats(&self) -> &LockStats {
+        &self.lock_stats
     }
 
     /// True once maintenance has replaced this shard in a newer

@@ -108,22 +108,25 @@ pub struct LatencySummary {
     pub samples: usize,
 }
 
-/// Sorts `samples` in place and reduces them to the tail summary.
-/// Panics on an empty slice (an experiment that measured nothing is
-/// a bug, not a datum).
-pub fn summarize(samples: &mut [u64]) -> LatencySummary {
+/// Reduces a sample set to the tail summary through the shared
+/// [`rma_obs::Histogram`] — the one quantile implementation used
+/// repo-wide (same numbers as `Db::metrics()`). Quantiles carry the
+/// histogram's ≤ 1/16 relative bucket error; `max`, `mean` and
+/// `samples` are exact. Panics on an empty slice (an experiment that
+/// measured nothing is a bug, not a datum).
+pub fn summarize(samples: &[u64]) -> LatencySummary {
     assert!(!samples.is_empty(), "no latency samples recorded");
-    samples.sort_unstable();
-    let q = |frac: f64| {
-        let idx = ((samples.len() - 1) as f64 * frac).round() as usize;
-        samples[idx]
-    };
+    let hist = rma_obs::Histogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    let snap = hist.snapshot();
     LatencySummary {
-        p50: q(0.50),
-        p99: q(0.99),
-        p999: q(0.999),
-        max: *samples.last().expect("non-empty"),
-        mean: samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64,
+        p50: snap.p50(),
+        p99: snap.p99(),
+        p999: snap.quantile(0.999),
+        max: snap.max(),
+        mean: snap.mean(),
         samples: samples.len(),
     }
 }
@@ -228,12 +231,15 @@ mod tests {
 
     #[test]
     fn summary_reports_percentiles() {
-        let mut samples: Vec<u64> = (1..=1000).collect();
-        let s = summarize(&mut samples);
-        // Index = round((len-1) × q): 499.5 rounds up.
-        assert_eq!(s.p50, 501);
-        assert_eq!(s.p99, 990);
-        assert_eq!(s.p999, 999);
+        let samples: Vec<u64> = (1..=1000).collect();
+        let s = summarize(&samples);
+        // Quantiles go through the shared log2-bucketed histogram:
+        // within 1/16 relative error of the true rank statistic.
+        let close = |got: u64, want: u64| (got as f64 - want as f64).abs() <= want as f64 / 16.0;
+        assert!(close(s.p50, 500), "p50 {}", s.p50);
+        assert!(close(s.p99, 990), "p99 {}", s.p99);
+        assert!(close(s.p999, 999), "p999 {}", s.p999);
+        // Max, mean and count stay exact.
         assert_eq!(s.max, 1000);
         assert_eq!(s.samples, 1000);
         assert!((s.mean - 500.5).abs() < 1e-9);

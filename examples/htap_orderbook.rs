@@ -7,11 +7,15 @@
 //! The RMA instead updates in place and scans stay truly sequential.
 //! This example keeps an order book keyed by (price-level) and runs a
 //! mixed stream of order insertions/cancellations interleaved with
-//! "total open volume in price band" analytics.
+//! "total open volume in price band" analytics — against the [`Db`]
+//! facade, with background maintenance rebalancing the price-level
+//! shards underneath and every closing figure rendered by the
+//! built-in snapshot `Display`s (no hand-formatted stats).
 //!
 //! Run with: `cargo run --release --example htap_orderbook`
 
-use rma_repro::rma::{Rma, RmaConfig};
+use rma_repro::db::Db;
+use rma_repro::shard::MaintainerConfig;
 use rma_repro::workloads::SplitMix64;
 use std::time::Instant;
 
@@ -22,15 +26,24 @@ fn order_key(price_ticks: i64, order_id: i64) -> i64 {
 }
 
 fn main() {
-    let mut book = Rma::new(RmaConfig::default());
     let mut rng = SplitMix64::new(7);
 
-    // Seed the book: 2^20 resting orders over 4096 price levels.
-    let n0 = 1 << 20;
-    for id in 0..n0 {
-        let price = 10_000 + rng.next_below(4096) as i64;
-        book.insert(order_key(price, id), rng.next_range(1, 500) as i64);
-    }
+    // Seed the book: 2^20 resting orders over 4096 price levels,
+    // bulk-loaded so the shards start balanced on the seed's actual
+    // key distribution (splitters learned from the batch quantiles).
+    let n0: i64 = 1 << 20;
+    let mut seed: Vec<(i64, i64)> = (0..n0)
+        .map(|id| {
+            let price = 10_000 + rng.next_below(4096) as i64;
+            (order_key(price, id), rng.next_range(1, 500) as i64)
+        })
+        .collect();
+    seed.sort_unstable();
+    let book = Db::builder()
+        .shards(8)
+        .maintenance(MaintainerConfig::default())
+        .build_bulk(&seed)
+        .expect("static config is valid");
     println!("order book seeded: {} orders", book.len());
 
     // Mixed phase: 4 transactional updates per analytical query.
@@ -77,11 +90,12 @@ fn main() {
         visited as f64 / t.elapsed().as_secs_f64() / 1e6,
         total
     );
-    let st = book.stats();
-    println!(
-        "structure kept itself balanced: {} rebalances ({} adaptive), {} resizes",
-        st.rebalances,
-        st.adaptive_rebalances,
-        st.grows + st.shrinks
-    );
+
+    // Closing report: quiesce maintenance, then let the metrics
+    // snapshot render everything — engine balance, lock/maintenance
+    // counters, the maintainer's tally and the journal of what it
+    // restructured while the mixed load ran.
+    book.stop_maintenance();
+    println!();
+    print!("{}", book.metrics());
 }

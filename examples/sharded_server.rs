@@ -9,17 +9,22 @@
 //! sums through the direct-call path (lock-free on the happy path),
 //! an ingest thread applies partitioned batches, and the background
 //! maintainer re-learns splitters / splits hot shards / merges cold
-//! ones underneath all of them. At the end, every figure reported
-//! comes from the one consolidated [`Db::stats`] snapshot.
+//! ones underneath all of them. While the load runs, a reporter
+//! thread prints a periodic [`Db::metrics`] report — per-op-type
+//! latency quantiles straight from the built-in histograms — and at
+//! the end the full consolidated snapshot renders itself (the
+//! `Display` impls; no hand-formatted stats), followed by the tail
+//! of the maintenance event journal and a taste of the
+//! Prometheus-style text exposition a scrape endpoint would serve.
 //!
 //! Run with: `cargo run --release --example sharded_server`
 
-use rma_repro::db::{Db, Op, Reply, Ticket};
+use rma_repro::db::{Db, Op, Reply, Ticket, OP_LATENCY_NAMES};
 use rma_repro::shard::MaintainerConfig;
 use rma_repro::workloads::{BatchStream, KeyStream, Pattern, SplitMix64};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const PRELOAD: usize = 200_000;
 const WRITERS: usize = 2;
@@ -132,6 +137,38 @@ fn main() {
             }));
         }
 
+        // Periodic observability report: what a metrics scraper would
+        // see, sampled once per second from `Db::metrics()` — insert
+        // service latency from the router workers' histograms, batch
+        // wall time from the tickets, and the maintainer's progress.
+        {
+            let (db, stop) = (&db, &stop);
+            sc.spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(1000));
+                if stop.load(Relaxed) {
+                    break;
+                }
+                let m = db.metrics();
+                let ins_idx = OP_LATENCY_NAMES
+                    .iter()
+                    .position(|&n| n == "insert")
+                    .expect("known op type");
+                let ins = &m.op_latency[ins_idx];
+                println!(
+                    "[report] {} ops executed; insert p50/p99 {:.1}/{:.1} µs; \
+                     batch wait p99 {:.1} µs; queue depth p99 {}; \
+                     {} shards, {} maintenance steps",
+                    m.db.router.ops_executed,
+                    ins.p50() as f64 / 1e3,
+                    ins.p99() as f64 / 1e3,
+                    m.ticket_wait.p99() as f64 / 1e3,
+                    m.queue_depth.p99(),
+                    m.db.engine.num_shards,
+                    m.db.engine.maintenance.steps_executed,
+                );
+            });
+        }
+
         // Writers and ingest are bounded: join them, then release the
         // readers (who poll `stop`).
         let stop = &stop;
@@ -152,49 +189,28 @@ fn main() {
         - removed.load(Relaxed) as usize;
     assert_eq!(db.len(), expected, "content drifted from the op ledger");
 
-    let snap = db.stats();
     println!(
-        "done in {secs:.2}s: {} elements, {} shards, {} elements scanned, {} deletes hit",
-        snap.engine.len,
-        snap.engine.num_shards,
+        "\ndone in {secs:.2}s: {} elements scanned, {} deletes hit",
         scanned.load(Relaxed),
         removed.load(Relaxed)
     );
-    println!(
-        "router: {} workers, {} sessions, {} batches, {} ops ({} executed)",
-        snap.router.workers,
-        snap.router.sessions_opened,
-        snap.router.batches_submitted,
-        snap.router.ops_submitted,
-        snap.router.ops_executed
-    );
-    if let Some(m) = snap.maintainer {
-        println!(
-            "maintenance (background): {} polls, {} runs, {} relearns, {} splits, {} merges, {} nudges, {} steps",
-            m.polls, m.runs, m.relearns, m.splits, m.merges, m.nudges, m.steps
-        );
+    // The whole story in one read: counters, per-op latency
+    // distributions, batch wall times, maintenance step timing and
+    // the journal tail — rendered by the snapshot itself.
+    let metrics = db.metrics();
+    print!("{metrics}");
+
+    // The machine-readable face of the same snapshot, as a scrape
+    // endpoint would serve it (one summary family per op type).
+    println!("\nexposition sample (render_text):");
+    let text = metrics.render_text();
+    for line in text
+        .lines()
+        .filter(|l| l.contains("op=\"insert\"") || l.starts_with("rma_ops_executed"))
+    {
+        println!("  {line}");
     }
-    // The incremental plan engine's own counters: every topology
-    // change was one bounded step, and the worst step wall time is
-    // the longest any writer could have queued behind maintenance.
-    let ms = snap.engine.maintenance;
-    println!(
-        "plan engine: {} plans, {}/{} steps executed/skipped, {} keys migrated, {} topologies published, {} batch re-routes, worst step {:.2} ms",
-        ms.plans,
-        ms.steps_executed,
-        ms.steps_skipped,
-        ms.keys_migrated,
-        ms.topologies_published,
-        ms.batch_reroutes,
-        ms.max_step_wall_ns as f64 / 1e6
-    );
-    println!(
-        "lock acquisitions: {} read, {} write (reads are optimistic); access imbalance {:.2}; footprint {} B",
-        snap.engine.read_locks,
-        snap.engine.write_locks,
-        snap.engine.access_imbalance,
-        snap.engine.memory_footprint
-    );
+
     println!("\nper-shard load (len / reads / writes):");
     for st in db.engine().shard_stats() {
         println!(

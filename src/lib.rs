@@ -26,6 +26,11 @@
 //!   that keeps uniform workloads churn-free, and
 //!   `ShardedRma::start_maintainer` runs all of it from a background
 //!   thread that readers never block behind;
+//! * [`obs`] — the **observability core**: lock-free log₂-bucketed
+//!   latency histograms (mergeable, bounded-error quantiles), a
+//!   bounded MPSC maintenance-event journal, static counters/gauges,
+//!   and cheap monotonic timestamps — everything
+//!   [`Db::metrics`](rma_db::Db::metrics) is assembled from;
 //! * [`pma`] — the Traditional PMA baseline and the APMA
 //!   re-implementation;
 //! * [`abtree`] — the (a,b)-tree comparator and the static dense
@@ -94,5 +99,6 @@ pub use pma_baseline as pma;
 pub use rewiring;
 pub use rma_core as rma;
 pub use rma_db as db;
+pub use rma_obs as obs;
 pub use rma_shard as shard;
 pub use workloads;
