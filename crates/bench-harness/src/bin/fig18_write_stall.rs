@@ -138,6 +138,7 @@ fn preloaded(cli: &Cli, mode: Mode) -> Db {
             // the previous step always drains fully before the next
             // one can lock anything.
             step_pause: Duration::from_millis(2),
+            ..Default::default()
         });
     }
     builder

@@ -66,4 +66,6 @@ extern "C" {
     pub fn close(fd: c_int) -> c_int;
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
     pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+    pub fn fsync(fd: c_int) -> c_int;
+    pub fn fdatasync(fd: c_int) -> c_int;
 }

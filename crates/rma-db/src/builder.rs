@@ -4,9 +4,12 @@
 use crate::metrics::ObsConfig;
 use crate::Db;
 use rma_core::{Key, RmaConfig, Value};
+use rma_obs::EventKind;
 use rma_shard::{
     BalancePolicy, MaintainerConfig, RelearnStrategy, ShardConfig, ShardedRma, Splitters,
 };
+use rma_wal::{DurabilityConfig, Wal};
+use std::sync::Arc;
 
 /// A rejected [`DbBuilder`] input. Engine-level violations (shard,
 /// maintainer and per-shard-RMA parameters) carry the inner layer's
@@ -26,6 +29,11 @@ pub enum ConfigError {
     /// Explicit splitter keys are not strictly increasing (unsorted
     /// or duplicated), so they cannot partition the key space.
     UnsortedSplitterKeys,
+    /// Creating or recovering the write-ahead log failed; carries the
+    /// rendered [`rma_wal::WalError`] (the inner error holds
+    /// `io::Error` and so cannot satisfy this enum's `Clone +
+    /// PartialEq` contract directly).
+    Durability(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -40,6 +48,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::UnsortedSplitterKeys => {
                 f.write_str("explicit splitter keys must be strictly increasing")
             }
+            ConfigError::Durability(why) => write!(f, "durability: {why}"),
         }
     }
 }
@@ -68,6 +77,7 @@ pub struct DbBuilder {
     maintenance: Option<MaintainerConfig>,
     router_workers: Option<usize>,
     observability: Option<ObsConfig>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl DbBuilder {
@@ -185,6 +195,17 @@ impl DbBuilder {
         self
     }
 
+    /// Enables durability: every finisher creates (or, via
+    /// [`recover`](Self::recover), reopens) a write-ahead log in
+    /// `cfg.dir`, router workers run the commit barrier before
+    /// acknowledging batches, and checkpoints seal whenever
+    /// [`MaintainerConfig::checkpoint_interval`] elapses. Without this
+    /// call the database is purely in-memory, exactly as before.
+    pub fn durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = Some(cfg);
+        self
+    }
+
     /// Validates every input and resolves the worker count.
     fn validate(&self) -> Result<usize, ConfigError> {
         self.shard.try_validate()?;
@@ -206,11 +227,22 @@ impl DbBuilder {
         }
     }
 
+    /// Creates the fresh WAL for a non-recovery finisher.
+    fn create_wal(&self) -> Result<Option<Arc<Wal>>, ConfigError> {
+        match &self.durability {
+            Some(cfg) => Wal::create(cfg.clone())
+                .map(Some)
+                .map_err(|e| ConfigError::Durability(e.to_string())),
+            None => Ok(None),
+        }
+    }
+
     /// Opens an empty database (splitters from
     /// [`splitter_keys`](Self::splitter_keys), or spread uniformly
     /// over the positive key domain).
     pub fn build(self) -> Result<Db, ConfigError> {
         let workers = self.validate()?;
+        let wal = self.create_wal()?;
         let engine = match self.splitter_keys {
             Some(keys) => ShardedRma::with_splitters(self.shard, Splitters::new(keys)),
             None => ShardedRma::new(self.shard),
@@ -220,22 +252,46 @@ impl DbBuilder {
             workers,
             self.maintenance,
             self.observability.unwrap_or_default(),
+            wal,
         ))
     }
 
     /// Opens a database bulk-loaded from a batch sorted by key;
     /// splitters are learned from the batch quantiles so the shards
-    /// start balanced.
+    /// start balanced. With durability configured, the batch is also
+    /// logged (through the bulk-apply path) so a crash before the
+    /// first checkpoint still recovers it.
     pub fn build_bulk(self, batch: &[(Key, Value)]) -> Result<Db, ConfigError> {
         let workers = self.validate()?;
         if self.splitter_keys.is_some() {
             return Err(ConfigError::SplittersConflictWithLearned);
         }
+        let wal = self.create_wal()?;
+        let engine = match &wal {
+            // The durable path loads through `apply_batch` on an empty
+            // engine (splitters still learned from the batch) so every
+            // element flows through the WAL hooks; `load_bulk` would
+            // bypass logging and the data would not survive a crash
+            // before the first checkpoint.
+            Some(w) => {
+                let mut engine = ShardedRma::with_splitters(
+                    self.shard,
+                    Splitters::from_sorted_pairs(batch, self.shard.num_shards),
+                );
+                engine.set_durability(Arc::clone(w) as Arc<dyn rma_shard::DurabilitySink>);
+                engine.apply_batch(batch, &[]);
+                w.commit()
+                    .map_err(|e| ConfigError::Durability(e.to_string()))?;
+                engine
+            }
+            None => ShardedRma::load_bulk(self.shard, batch),
+        };
         Ok(Db::assemble(
-            ShardedRma::load_bulk(self.shard, batch),
+            engine,
             workers,
             self.maintenance,
             self.observability.unwrap_or_default(),
+            wal,
         ))
     }
 
@@ -246,11 +302,53 @@ impl DbBuilder {
         if self.splitter_keys.is_some() {
             return Err(ConfigError::SplittersConflictWithLearned);
         }
+        let wal = self.create_wal()?;
         Ok(Db::assemble(
             ShardedRma::from_sample(self.shard, sample),
             workers,
             self.maintenance,
             self.observability.unwrap_or_default(),
+            wal,
         ))
+    }
+
+    /// Reopens a database from its WAL directory (set with
+    /// [`durability`](Self::durability)): loads every partition's
+    /// sealed checkpoint in parallel, replays the committed log tails
+    /// (truncating a torn tail), and only then attaches the WAL so
+    /// replayed operations are not re-logged. The recovered engine
+    /// learns its shard splitters from the checkpoint data; explicit
+    /// [`splitter_keys`](Self::splitter_keys) therefore conflict.
+    pub fn recover(self) -> Result<Db, ConfigError> {
+        let workers = self.validate()?;
+        if self.splitter_keys.is_some() {
+            return Err(ConfigError::SplittersConflictWithLearned);
+        }
+        let cfg = self.durability.clone().ok_or_else(|| {
+            ConfigError::Durability(
+                "recover() needs a WAL directory; configure DbBuilder::durability first".into(),
+            )
+        })?;
+        let t0 = rewiring::monotonic_ns();
+        let recovery = Wal::recover(cfg).map_err(|e| ConfigError::Durability(e.to_string()))?;
+        let engine = ShardedRma::load_bulk(self.shard, recovery.elements());
+        let replayed = recovery.replay_into(&engine);
+        let recover_ns = rewiring::monotonic_ns().saturating_sub(t0);
+        let db = Db::assemble(
+            engine,
+            workers,
+            self.maintenance,
+            self.observability.unwrap_or_default(),
+            Some(recovery.wal()),
+        );
+        if db.engine().obs().enabled() {
+            db.engine().obs().journal().log(
+                EventKind::Recovery,
+                rma_obs::Event::NO_SHARD,
+                recover_ns,
+                replayed,
+            );
+        }
+        Ok(db)
     }
 }

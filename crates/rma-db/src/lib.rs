@@ -86,13 +86,19 @@ mod router;
 mod session;
 
 pub use builder::{ConfigError, DbBuilder};
-pub use metrics::{MetricsSnapshot, ObsConfig, OP_LATENCY_NAMES};
+pub use metrics::{MetricsSnapshot, ObsConfig, WalMetrics, OP_LATENCY_NAMES};
 pub use session::{Op, Reply, Session, Ticket};
+// The durability vocabulary callers need to configure
+// [`DbBuilder::durability`], re-exported so `rma-db` is a one-import
+// facade.
+pub use rma_wal::{CommitPolicy, DurabilityConfig, FaultInjector, FaultMode, IoClass};
 
 use metrics::RouterObs;
 use rma_core::{Key, Value};
-use rma_shard::{Maintainer, MaintainerConfig, MaintainerStats, ShardedRma};
+use rma_shard::{DurabilitySink, Maintainer, MaintainerConfig, MaintainerStats, ShardedRma};
+use rma_wal::Wal;
 use router::Router;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 
@@ -109,6 +115,10 @@ pub struct Db {
     maintainer_stats: Option<Arc<MaintainerStats>>,
     router: Router,
     engine: Arc<ShardedRma>,
+    /// The write-ahead log, when durability is configured. Also held
+    /// by the engine (as its [`DurabilitySink`]) and by every router
+    /// worker.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Db {
@@ -117,20 +127,44 @@ impl Db {
         DbBuilder::default()
     }
 
+    /// Opens a durable database rooted at `path`: recovers the WAL
+    /// that lives there, or creates a fresh one (with default
+    /// durability and engine settings) when the directory holds none.
+    /// For non-default settings use [`Db::builder`] with
+    /// [`DbBuilder::durability`] and finish with `build()` or
+    /// `recover()` explicitly.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Db, ConfigError> {
+        let dir: PathBuf = path.into();
+        let exists = Wal::exists(&dir);
+        let builder = Db::builder().durability(DurabilityConfig::new(dir));
+        if exists {
+            builder.recover()
+        } else {
+            builder.build()
+        }
+    }
+
     /// Assembles the handle from a validated configuration (all
-    /// finishers of [`DbBuilder`] land here).
+    /// finishers of [`DbBuilder`] land here). The WAL is attached to
+    /// the engine *here* — after any bulk load or replay the finisher
+    /// performed — so recovered operations are not re-logged.
     pub(crate) fn assemble(
         mut engine: ShardedRma,
         workers: usize,
         maintenance: Option<MaintainerConfig>,
         obs: ObsConfig,
+        wal: Option<Arc<Wal>>,
     ) -> Db {
         engine.set_observability(obs.enabled, obs.journal_capacity);
+        if let Some(w) = &wal {
+            engine.set_durability(Arc::clone(w) as Arc<dyn DurabilitySink>);
+        }
         let engine = Arc::new(engine);
         let router = Router::start(
             &engine,
             workers,
             Arc::new(RouterObs::new(obs.enabled, obs.sample_every)),
+            wal.clone(),
         );
         let (maintainer, maintainer_stats) = match maintenance {
             Some(cfg) => {
@@ -145,6 +179,7 @@ impl Db {
             maintainer_stats,
             router,
             engine,
+            wal,
         }
     }
 
@@ -224,6 +259,12 @@ impl Db {
             step_duration: eobs.step_duration(),
             maint_tick: eobs.maint_tick(),
             journal: eobs.journal().snapshot(),
+            wal: self.wal.as_ref().map(|w| WalMetrics {
+                commit: w.commit_hist().snapshot(),
+                fsync: w.fsync_hist().snapshot(),
+                replay: w.replay_hist().snapshot(),
+                degraded: w.is_degraded(),
+            }),
         }
     }
 
@@ -236,33 +277,86 @@ impl Db {
             merges: s.merges(),
             nudges: s.nudges(),
             steps: s.steps(),
+            checkpoints: s.checkpoints(),
         })
     }
 
     // ------------------------------------------------- data plane --
     // Thin delegation to the engine: the same methods the router
     // workers execute, for callers that want synchronous calls
-    // without a session.
+    // without a session. With durability configured, every direct
+    // write runs the commit barrier before returning — the return is
+    // the acknowledgement, same contract as a session reply.
+
+    /// True when a durability fault has latched the database into
+    /// read-only (degraded) mode: reads keep serving, writes are
+    /// refused. Always `false` without durability configured.
+    pub fn is_read_only(&self) -> bool {
+        self.wal.as_ref().is_some_and(|w| w.is_degraded())
+    }
+
+    /// The write guard + commit barrier shared by the direct-call
+    /// writes: refuses up front when degraded, runs the op, then
+    /// makes it durable (or reports the degradation that the failing
+    /// commit just latched).
+    fn durable_write<T>(&self, op: impl FnOnce() -> T) -> Result<T, DbError> {
+        let Some(w) = &self.wal else {
+            return Ok(op());
+        };
+        if w.is_degraded() {
+            // The latch may have been set by a failing checkpoint on
+            // the maintainer thread; journal the one-time transition
+            // from whoever observes it first.
+            router::journal_degraded(&self.engine, w);
+            return Err(DbError::ReadOnly);
+        }
+        let out = op();
+        if w.commit().is_err() {
+            router::journal_degraded(&self.engine, w);
+            return Err(DbError::ReadOnly);
+        }
+        Ok(out)
+    }
 
     /// Point lookup (lock-free on the happy path).
     pub fn get(&self, k: Key) -> Option<Value> {
         self.engine.get(k)
     }
 
-    /// Inserts a pair (duplicates kept).
+    /// Inserts a pair (duplicates kept). Panics if the database is
+    /// read-only ([`Db::is_read_only`]); use [`Db::try_insert`] to
+    /// handle that case.
     pub fn insert(&self, k: Key, v: Value) {
-        self.engine.insert(k, v)
+        self.try_insert(k, v).expect("database is read-only")
+    }
+
+    /// Inserts a pair (duplicates kept), reporting a degraded
+    /// (read-only) database instead of panicking. `Ok` means the
+    /// insert is durable under the configured commit policy.
+    pub fn try_insert(&self, k: Key, v: Value) -> Result<(), DbError> {
+        self.durable_write(|| self.engine.insert(k, v))
     }
 
     /// Removes one element with key exactly `k`, returning its value.
+    /// Panics if the database is read-only; use [`Db::try_remove`] to
+    /// handle that case.
     pub fn remove(&self, k: Key) -> Option<Value> {
-        self.engine.remove(k)
+        self.try_remove(k).expect("database is read-only")
+    }
+
+    /// Removes one element with key exactly `k`, reporting a degraded
+    /// (read-only) database instead of panicking. `Ok` means the
+    /// remove is durable under the configured commit policy.
+    pub fn try_remove(&self, k: Key) -> Result<Option<Value>, DbError> {
+        self.durable_write(|| self.engine.remove(k))
     }
 
     /// Removes the first element with key `>= k` (or the maximum);
-    /// `None` only on an empty database.
+    /// `None` only on an empty database. Panics if the database is
+    /// read-only.
     pub fn remove_successor(&self, k: Key) -> Option<(Key, Value)> {
-        self.engine.remove_successor(k)
+        self.durable_write(|| self.engine.remove_successor(k))
+            .expect("database is read-only")
     }
 
     /// Sums up to `count` values from the first key `>= start`.
@@ -283,8 +377,10 @@ impl Db {
 
     /// Applies a sorted insert batch and a delete-key set through the
     /// parallel partitioned path; returns the elements deleted.
+    /// Panics if the database is read-only.
     pub fn apply_batch(&self, inserts: &[(Key, Value)], deletes: &[Key]) -> usize {
-        self.engine.apply_batch(inserts, deletes)
+        self.durable_write(|| self.engine.apply_batch(inserts, deletes))
+            .expect("database is read-only")
     }
 
     /// Stored elements.
@@ -349,7 +445,30 @@ pub struct MaintainerSnapshot {
     pub nudges: u64,
     /// Plan steps executed (incremental strategies).
     pub steps: u64,
+    /// Durability checkpoints sealed by the maintainer.
+    pub checkpoints: u64,
 }
+
+/// Errors from the checked direct-call write methods
+/// ([`Db::try_insert`], [`Db::try_remove`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbError {
+    /// A durability fault latched the database into read-only mode:
+    /// the write was refused (or applied in memory but not made
+    /// durable, and therefore not acknowledged). See
+    /// [`Db::is_read_only`].
+    ReadOnly,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::ReadOnly => write!(f, "database is read-only (durability degraded)"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
 
 /// The request router's monotonic throughput counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -134,6 +134,27 @@ pub struct MetricsSnapshot {
     pub maint_tick: HistogramSnapshot,
     /// The retained maintenance events, oldest first.
     pub journal: Vec<Event>,
+    /// Durability distributions and state; `None` when the database
+    /// was built without [`DbBuilder::durability`](crate::DbBuilder).
+    pub wal: Option<WalMetrics>,
+}
+
+/// The durability slice of a [`MetricsSnapshot`]: the WAL's commit
+/// and fsync latency distributions, the recovery replay times (only
+/// populated on a handle opened through `recover()`), and the
+/// degraded-mode latch.
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    /// Group-commit barrier wall time per commit call, nanoseconds
+    /// (covers staged-buffer write plus any fsync).
+    pub commit: HistogramSnapshot,
+    /// `fsync`/`fdatasync` wall time, nanoseconds.
+    pub fsync: HistogramSnapshot,
+    /// Per-partition log-tail replay wall time during recovery,
+    /// nanoseconds.
+    pub replay: HistogramSnapshot,
+    /// True when a durability fault latched the database read-only.
+    pub degraded: bool,
 }
 
 /// The stable op-name order of [`MetricsSnapshot::op_latency`].
@@ -184,6 +205,21 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "# TYPE {name} summary");
             summary(&mut out, name, "", h);
         }
+        if let Some(w) = &self.wal {
+            for (name, h) in [
+                ("rma_wal_commit_ns", &w.commit),
+                ("rma_wal_fsync_ns", &w.fsync),
+                ("rma_recovery_replay_ns", &w.replay),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                summary(&mut out, name, "", h);
+            }
+            let _ = writeln!(
+                out,
+                "# TYPE rma_wal_degraded gauge\nrma_wal_degraded {}",
+                u64::from(w.degraded)
+            );
+        }
 
         let e = &self.db.engine;
         let gauges: [(&str, u64); 4] = [
@@ -232,6 +268,7 @@ impl MetricsSnapshot {
                 ("rma_maintainer_merges_total", mt.merges),
                 ("rma_maintainer_nudges_total", mt.nudges),
                 ("rma_maintainer_steps_total", mt.steps),
+                ("rma_maintainer_checkpoints_total", mt.checkpoints),
             ]);
         }
         for (name, v) in counters {
@@ -318,6 +355,27 @@ impl std::fmt::Display for MetricsSnapshot {
                 us(self.step_duration.max())
             )?;
         }
+        if let Some(w) = &self.wal {
+            writeln!(
+                f,
+                "wal: {} commits at p50 {:.1} µs / p99 {:.1} µs, \
+                 {} fsyncs at p50 {:.1} µs{}",
+                w.commit.count(),
+                us(w.commit.p50()),
+                us(w.commit.p99()),
+                w.fsync.count(),
+                us(w.fsync.p50()),
+                if w.degraded { " [DEGRADED]" } else { "" }
+            )?;
+            if w.replay.count() > 0 {
+                writeln!(
+                    f,
+                    "recovery replay: {} partitions, max {:.1} µs",
+                    w.replay.count(),
+                    us(w.replay.max())
+                )?;
+            }
+        }
         if !self.journal.is_empty() {
             writeln!(f, "journal (last {}):", self.journal.len().min(8))?;
             let skip = self.journal.len().saturating_sub(8);
@@ -384,8 +442,15 @@ impl std::fmt::Display for MaintainerSnapshot {
         writeln!(
             f,
             "maintainer: {} polls, {} runs, {} relearns, \
-             {} splits / {} merges / {} nudges, {} steps",
-            self.polls, self.runs, self.relearns, self.splits, self.merges, self.nudges, self.steps
+             {} splits / {} merges / {} nudges, {} steps, {} checkpoints",
+            self.polls,
+            self.runs,
+            self.relearns,
+            self.splits,
+            self.merges,
+            self.nudges,
+            self.steps,
+            self.checkpoints
         )
     }
 }

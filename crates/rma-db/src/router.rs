@@ -19,6 +19,7 @@ use crate::metrics::{op_index, RouterObs};
 use crate::session::{Op, Reply, TicketState};
 use rma_obs::EventKind;
 use rma_shard::ShardedRma;
+use rma_wal::Wal;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -65,8 +66,19 @@ pub(crate) struct Router {
 }
 
 impl Router {
-    /// Spawns `workers` threads executing against `engine`.
-    pub(crate) fn start(engine: &Arc<ShardedRma>, workers: usize, obs: Arc<RouterObs>) -> Router {
+    /// Spawns `workers` threads executing against `engine`. When a
+    /// `wal` is configured, each worker drains up to
+    /// [`GROUP_COMMIT_WINDOW`] queued chunks per pass, executes them
+    /// all, runs **one** durability barrier, and only then completes
+    /// their tickets — a reply is the acknowledgement, so nothing is
+    /// replied until it is durable, and the fsync cost is shared by
+    /// the whole pass.
+    pub(crate) fn start(
+        engine: &Arc<ShardedRma>,
+        workers: usize,
+        obs: Arc<RouterObs>,
+        wal: Option<Arc<Wal>>,
+    ) -> Router {
         debug_assert!(workers >= 1, "validated by the builder");
         let counters = Arc::new(RouterCounters::default());
         let mut senders = Vec::with_capacity(workers);
@@ -76,10 +88,11 @@ impl Router {
             let engine = Arc::clone(engine);
             let counters = Arc::clone(&counters);
             let obs = Arc::clone(&obs);
+            let wal = wal.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rma-db-router-{w}"))
-                    .spawn(move || worker_loop(&engine, &rx, &counters, &obs))
+                    .spawn(move || worker_loop(&engine, &rx, &counters, &obs, &wal))
                     .expect("spawn router worker"),
             );
             senders.push(tx);
@@ -119,11 +132,49 @@ impl Drop for Router {
     }
 }
 
+/// Journals the WAL's one-time transition into degraded mode (the
+/// flag is a latch in the WAL, so exactly one caller journals it no
+/// matter which path notices first).
+pub(crate) fn journal_degraded(engine: &ShardedRma, wal: &Wal) {
+    if wal.take_degraded_transition() && engine.obs().enabled() {
+        engine
+            .obs()
+            .journal()
+            .log(EventKind::DegradedMode, rma_obs::Event::NO_SHARD, 0, 0);
+    }
+}
+
+/// Chunks a worker drains from its queue per pass when a WAL is
+/// attached — the group-commit window. One durability barrier (one
+/// fsync round under `Always`) covers every chunk executed in the
+/// pass, so the per-op fsync cost shrinks with queue depth exactly
+/// when the queue is deep. Bounded so a slow barrier cannot starve
+/// latency-sensitive callers behind an ever-growing pass.
+const GROUP_COMMIT_WINDOW: usize = 32;
+
+/// A chunk executed but not yet acknowledged: replies are parked
+/// here across the group's durability barrier, because completing
+/// the ticket *is* the acknowledgement.
+enum Executed {
+    Whole(Arc<TicketState>, Vec<Reply>),
+    Partial(Arc<TicketState>, Vec<(u32, Reply)>),
+}
+
+impl Executed {
+    fn len(&self) -> usize {
+        match self {
+            Executed::Whole(_, r) => r.len(),
+            Executed::Partial(_, r) => r.len(),
+        }
+    }
+}
+
 fn worker_loop(
     engine: &ShardedRma,
     rx: &Receiver<WorkItem>,
     counters: &RouterCounters,
     obs: &RouterObs,
+    wal: &Option<Arc<Wal>>,
 ) {
     let timed = obs.enabled;
     let sample_every = obs.sample_every;
@@ -152,42 +203,117 @@ fn worker_loop(
             exec(engine, op)
         }
     };
-    while let Ok(WorkItem { ticket, chunk }) = rx.recv() {
-        if timed {
-            obs.pending.fetch_sub(1, Relaxed);
-        }
-        // An engine panic mid-chunk must not strand the batch's
-        // waiters on the condvar forever: poison the ticket so
-        // `wait()` propagates the failure, and keep this worker
-        // serving the other queued batches.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match chunk {
-            WorkChunk::Whole(ops) => {
-                let n = ops.len() as u64;
-                let replies = ops.into_iter().map(|op| exec_op(engine, op)).collect();
-                counters.ops_executed.fetch_add(n, Relaxed);
-                ticket.complete_whole(replies);
-            }
-            WorkChunk::Partial(ops) => {
-                let mut filled = Vec::with_capacity(ops.len());
-                for (slot, op) in ops {
-                    filled.push((slot, exec_op(engine, op)));
+    while let Ok(first) = rx.recv() {
+        let mut group = vec![first];
+        // Group commit: with a WAL attached, drain whatever is
+        // already queued so the one durability barrier below covers
+        // every chunk in this pass. Without a WAL there is nothing to
+        // amortize — completing each chunk as it executes keeps
+        // latency minimal.
+        if wal.is_some() {
+            while group.len() < GROUP_COMMIT_WINDOW {
+                match rx.try_recv() {
+                    Ok(item) => group.push(item),
+                    Err(_) => break,
                 }
-                counters
-                    .ops_executed
-                    .fetch_add(filled.len() as u64, Relaxed);
-                ticket.complete(filled);
             }
-        }));
-        if outcome.is_err() {
-            // One poisoned ticket per panicking chunk: journal it so
-            // the event shows up next to the maintenance history.
-            if engine.obs().enabled() {
-                engine
-                    .obs()
-                    .journal()
-                    .log(EventKind::WorkerPanic, rma_obs::Event::NO_SHARD, 0, 1);
+        }
+        if timed {
+            obs.pending.fetch_sub(group.len() as u64, Relaxed);
+        }
+        // A degraded WAL makes the database read-only: refuse the
+        // group's writes up front (reads still execute). A
+        // degradation that happens *during* the pass is caught by the
+        // failing commit below.
+        let refuse = wal.as_ref().is_some_and(|w| {
+            let degraded = w.is_degraded();
+            if degraded {
+                // The latch may have been set off-thread (a failed
+                // maintainer checkpoint); journal the one-time
+                // transition from whoever observes it first.
+                journal_degraded(engine, w);
             }
-            ticket.poison();
+            degraded
+        });
+        let mut executed: Vec<Executed> = Vec::with_capacity(group.len());
+        for WorkItem { ticket, chunk } in group {
+            let mut run = |op: Op| -> Reply {
+                if refuse && op.is_write() {
+                    return Reply::Refused;
+                }
+                exec_op(engine, op)
+            };
+            // An engine panic mid-chunk must not strand the batch's
+            // waiters on the condvar forever: poison the ticket so
+            // `wait()` propagates the failure, and keep executing the
+            // group's other chunks.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match chunk {
+                WorkChunk::Whole(ops) => {
+                    let replies: Vec<Reply> = ops.into_iter().map(&mut run).collect();
+                    Executed::Whole(Arc::clone(&ticket), replies)
+                }
+                WorkChunk::Partial(ops) => {
+                    let mut filled = Vec::with_capacity(ops.len());
+                    for (slot, op) in ops {
+                        filled.push((slot, run(op)));
+                    }
+                    Executed::Partial(Arc::clone(&ticket), filled)
+                }
+            }));
+            match outcome {
+                Ok(done) => executed.push(done),
+                Err(_) => {
+                    // One poisoned ticket per panicking chunk:
+                    // journal it so the event shows up next to the
+                    // maintenance history.
+                    if engine.obs().enabled() {
+                        engine.obs().journal().log(
+                            EventKind::WorkerPanic,
+                            rma_obs::Event::NO_SHARD,
+                            0,
+                            1,
+                        );
+                    }
+                    ticket.poison();
+                }
+            }
+        }
+        if let Some(w) = wal {
+            // The durability barrier — one per pass, shared by every
+            // chunk above. Replies are the acknowledgement, so none
+            // may reach a ticket before the log is committed.
+            if w.commit().is_err() {
+                journal_degraded(engine, w);
+                for done in &mut executed {
+                    match done {
+                        Executed::Whole(_, replies) => unacknowledge(replies.iter_mut()),
+                        Executed::Partial(_, filled) => {
+                            unacknowledge(filled.iter_mut().map(|(_, r)| r));
+                        }
+                    }
+                }
+            }
+        }
+        let ops: usize = executed.iter().map(Executed::len).sum();
+        counters.ops_executed.fetch_add(ops as u64, Relaxed);
+        for done in executed {
+            match done {
+                Executed::Whole(ticket, replies) => ticket.complete_whole(replies),
+                Executed::Partial(ticket, filled) => ticket.complete(filled),
+            }
+        }
+    }
+}
+
+/// Downgrades a chunk's mutation replies to [`Reply::Refused`] after
+/// a failed commit: the mutations hit memory but will not survive a
+/// crash, so acknowledging them would break the durability contract.
+/// `Removed(None)` stays — a remove that found nothing has no durable
+/// effect to lose.
+fn unacknowledge<'a>(replies: impl Iterator<Item = &'a mut Reply>) {
+    for r in replies {
+        if matches!(r, Reply::Inserted | Reply::Removed(Some(_))) {
+            *r = Reply::Refused;
         }
     }
 }

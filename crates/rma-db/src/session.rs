@@ -77,6 +77,12 @@ impl Op {
             Op::SumRange { start, .. } | Op::Scan { start, .. } => start,
         }
     }
+
+    /// True for operations that mutate the index — the ones a
+    /// degraded (read-only) database answers with [`Reply::Refused`].
+    pub(crate) fn is_write(&self) -> bool {
+        matches!(self, Op::Insert(..) | Op::Remove(_))
+    }
 }
 
 /// The answer to one [`Op`], in the ticket slot matching the op's
@@ -100,6 +106,11 @@ pub enum Reply {
     Entry(Option<(Key, Value)>),
     /// [`Op::Scan`]: the visited pairs in key order.
     Entries(Vec<(Key, Value)>),
+    /// A write submitted while the database is degraded to read-only
+    /// (its write-ahead log hit an I/O failure and can no longer
+    /// promise durability). The operation was **not** applied — retry
+    /// against a recovered database. Reads keep executing normally.
+    Refused,
 }
 
 /// Completion state shared between a [`Ticket`] and the router
@@ -218,6 +229,15 @@ pub struct Ticket {
     pub(crate) state: Arc<TicketState>,
 }
 
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("len", &self.len())
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
 impl Ticket {
     /// Operations in the batch this ticket tracks.
     pub fn len(&self) -> usize {
@@ -257,6 +277,38 @@ impl Ticket {
             "a router worker panicked while executing this batch"
         );
         s.take_replies()
+    }
+
+    /// Blocks until every reply has arrived or `timeout` elapses:
+    /// `Ok(replies)` on completion, or the ticket handed back on
+    /// timeout so the caller can keep waiting (or drop it — the
+    /// operations still execute). Panics (like [`wait`](Self::wait))
+    /// if a router worker died executing the batch.
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<Vec<Reply>, Ticket> {
+        let deadline = std::time::Instant::now() + timeout;
+        {
+            let mut s = self.state.slots.lock().expect("ticket lock poisoned");
+            while s.remaining > 0 && !s.poisoned {
+                let Some(left) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                    drop(s);
+                    return Err(self);
+                };
+                let (guard, _timed_out) = self
+                    .state
+                    .done
+                    .wait_timeout(s, left)
+                    .expect("ticket lock poisoned");
+                s = guard;
+            }
+            assert!(
+                !s.poisoned,
+                "a router worker panicked while executing this batch"
+            );
+            if s.remaining == 0 {
+                return Ok(s.take_replies());
+            }
+        }
+        Err(self)
     }
 
     /// Returns the replies if the batch already completed, or hands
@@ -371,5 +423,60 @@ impl Session<'_> {
             self.submits_since_refresh = 0;
             self.splitters = self.engine.splitters();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pending_ticket(n: usize) -> Ticket {
+        Ticket {
+            state: Arc::new(TicketState::new(n, None)),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back_then_completes() {
+        let t = pending_ticket(1);
+        let state = Arc::clone(&t.state);
+        let t = t
+            .wait_timeout(Duration::from_millis(5))
+            .expect_err("nothing completed the batch yet");
+        state.complete_whole(vec![Reply::Inserted]);
+        assert_eq!(
+            t.wait_timeout(Duration::from_secs(5)).expect("complete"),
+            vec![Reply::Inserted]
+        );
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_cross_thread_completion() {
+        let t = pending_ticket(2);
+        let state = Arc::clone(&t.state);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            state.complete(vec![(1, Reply::Inserted)]);
+            state.complete(vec![(0, Reply::Found(None))]);
+        });
+        let replies = t.wait_timeout(Duration::from_secs(10)).expect("completes");
+        assert_eq!(replies, vec![Reply::Found(None), Reply::Inserted]);
+    }
+
+    #[test]
+    #[should_panic(expected = "router worker panicked")]
+    fn poisoned_ticket_fails_wait_instead_of_blocking() {
+        let t = pending_ticket(2);
+        t.state.poison();
+        let _ = t.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "router worker panicked")]
+    fn poisoned_ticket_fails_wait_timeout_instead_of_blocking() {
+        let t = pending_ticket(2);
+        t.state.poison();
+        let _ = t.wait_timeout(Duration::from_secs(5));
     }
 }

@@ -36,6 +36,14 @@ pub enum EventKind {
     WorkerPanic = 6,
     /// One maintainer poll tick completed.
     MaintTick = 7,
+    /// A durability partition's checkpoint was sealed (segment +
+    /// manifest durable on disk).
+    Checkpoint = 8,
+    /// Crash recovery completed (checkpoint load + log-tail replay).
+    Recovery = 9,
+    /// The write-ahead log hit a device error and the database
+    /// degraded to read-only.
+    DegradedMode = 10,
 }
 
 impl EventKind {
@@ -49,6 +57,9 @@ impl EventKind {
             5 => EventKind::TopologyPublish,
             6 => EventKind::WorkerPanic,
             7 => EventKind::MaintTick,
+            8 => EventKind::Checkpoint,
+            9 => EventKind::Recovery,
+            10 => EventKind::DegradedMode,
             _ => return None,
         })
     }
@@ -64,6 +75,9 @@ impl EventKind {
             EventKind::TopologyPublish => "topology_publish",
             EventKind::WorkerPanic => "worker_panic",
             EventKind::MaintTick => "maint_tick",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Recovery => "recovery",
+            EventKind::DegradedMode => "degraded_mode",
         }
     }
 }

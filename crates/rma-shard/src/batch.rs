@@ -13,7 +13,7 @@
 
 use crate::shard::{LockStats, Shard, Topology};
 use crate::splitter::Splitters;
-use crate::{ShardConfig, ShardedRma};
+use crate::{DurabilityOp, ShardConfig, ShardedRma};
 use rma_core::{Key, Rma, Value};
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -163,6 +163,18 @@ impl ShardedRma {
                         let d = guard
                             .mutate(|rma| rma.apply_batch(&inserts[parts[i].clone()], &dels[i]));
                         deleted.fetch_add(d, Relaxed);
+                        // Log under the shard lock, in apply order:
+                        // `apply_batch` runs its delete pass before
+                        // its insert pass, and replaying a delete of
+                        // an absent key is a no-op either way.
+                        if let Some(wal) = self.durability() {
+                            for &k in &dels[i] {
+                                wal.append(DurabilityOp::Remove(k));
+                            }
+                            for &(k, v) in &inserts[parts[i].clone()] {
+                                wal.append(DurabilityOp::Insert(k, v));
+                            }
+                        }
                     }
                 });
             }

@@ -284,6 +284,9 @@ pub enum ConfigError {
     ImbalanceTriggerBelowOne(f64),
     /// Maintainer `steps_per_tick == 0`: a plan could never drain.
     ZeroStepsPerTick,
+    /// Maintainer `checkpoint_interval` is `Some(0)`: the maintainer
+    /// would do nothing but checkpoint.
+    ZeroCheckpointInterval,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -331,6 +334,9 @@ impl std::fmt::Display for ConfigError {
                 "imbalance trigger below 1 would churn on balanced load (got {x})"
             ),
             ConfigError::ZeroStepsPerTick => f.write_str("need at least one step per tick"),
+            ConfigError::ZeroCheckpointInterval => {
+                f.write_str("checkpoint interval must be positive (or None)")
+            }
         }
     }
 }

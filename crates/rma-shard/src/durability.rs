@@ -1,0 +1,81 @@
+//! The engine-side durability contract.
+//!
+//! `rma-shard` does not know how a write-ahead log is encoded or where
+//! checkpoints live — that is `rma-wal`'s business. What the engine
+//! *does* own is the ordering guarantee: a log record is meaningful
+//! only if records for the same key land in the log in the same order
+//! their effects landed in the index. The engine therefore calls
+//! [`DurabilitySink::append`] **while still holding the shard write
+//! lock** of the mutation it describes, and calls
+//! [`DurabilitySink::checkpoint_cut`] while holding every shard lock
+//! overlapping the partition being checkpointed — so the cut LSN
+//! cleanly separates "state captured by the checkpoint" from "state
+//! only in the log tail".
+//!
+//! The sink partitions the key space on its own fixed splitter set
+//! (decoupled from the engine's dynamic topology, which splits and
+//! merges shards underneath it); the executor's `CheckpointShard`
+//! step asks for [`partition_range`](DurabilitySink::partition_range)
+//! to know which engine shards to lock.
+
+use rma_core::{Key, Value};
+
+/// One logical mutation, as the log sees it. Replay applies these
+/// through the ordinary engine entry points (`insert` keeps
+/// duplicates; `remove` drops one instance of the key), so the pair
+/// is closed under replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityOp {
+    /// An element `(key, value)` was inserted (duplicates kept).
+    Insert(Key, Value),
+    /// One element with exactly this key was removed.
+    Remove(Key),
+}
+
+impl DurabilityOp {
+    /// The key the operation acted on — what the sink routes by.
+    pub fn key(&self) -> Key {
+        match *self {
+            DurabilityOp::Insert(k, _) => k,
+            DurabilityOp::Remove(k) => k,
+        }
+    }
+}
+
+/// What the engine requires of a write-ahead log. Implemented by
+/// `rma_wal::Wal`; the engine only ever talks to the trait so the
+/// crates stay decoupled (`rma-wal` depends on `rma-shard`, not the
+/// other way around).
+pub trait DurabilitySink: Send + Sync {
+    /// Records one applied mutation. Called under the shard write
+    /// lock of the mutation, so same-key records are logged in apply
+    /// order. Must be cheap: implementations stage into a buffer and
+    /// defer fsync to their commit barrier. A sink that has degraded
+    /// (log device error) silently drops the record — the commit
+    /// barrier is what refuses the acknowledgement.
+    fn append(&self, op: DurabilityOp);
+
+    /// Number of fixed durability partitions.
+    fn partitions(&self) -> usize;
+
+    /// Inclusive lower / exclusive upper key bound of partition `p`
+    /// (`None` = unbounded), mirroring
+    /// [`Splitters::range_of`](crate::Splitters::range_of).
+    fn partition_range(&self, p: usize) -> (Option<Key>, Option<Key>);
+
+    /// Draws the checkpoint cut for partition `p`: every record with
+    /// LSN `<= cut` is covered by the state the caller is about to
+    /// capture; records above it stay live in the log tail. Called
+    /// while the caller holds write locks on every engine shard
+    /// overlapping the partition, so no same-partition append can
+    /// race the cut.
+    fn checkpoint_cut(&self, p: usize) -> u64;
+
+    /// Durably seals a checkpoint of partition `p`: `elems` is the
+    /// partition's full content at `cut`, sorted by key. Runs
+    /// *outside* the shard locks (sealing does file I/O). Returns
+    /// `false` when the seal failed (fault injection, disk error) —
+    /// the caller counts the step as skipped and the old checkpoint
+    /// stays authoritative.
+    fn seal_checkpoint(&self, p: usize, cut: u64, elems: &[(Key, Value)]) -> bool;
+}

@@ -111,6 +111,7 @@
 pub mod access;
 mod batch;
 pub mod config;
+pub mod durability;
 pub mod maintainer;
 pub mod maintenance;
 pub mod obs;
@@ -121,6 +122,7 @@ pub mod splitter;
 
 pub use access::AccessStats;
 pub use config::{BalancePolicy, ConfigError, RelearnStrategy, ShardConfig};
+pub use durability::{DurabilityOp, DurabilitySink};
 pub use maintainer::{Maintainer, MaintainerConfig, MaintainerStats};
 pub use maintenance::{
     DrainReport, MaintenancePlan, MaintenanceReport, MaintenanceStep, RelearnReport, ShardStats,
@@ -202,6 +204,11 @@ pub struct ShardedRma {
     maint_counters: MaintCounters,
     /// Event journal + maintenance histograms (see [`EngineObs`]).
     obs: EngineObs,
+    /// Write-ahead log hook: every applied mutation is appended here
+    /// under the mutating shard's write lock (see [`durability`]).
+    /// `None` (the default) keeps the hot paths free of the check's
+    /// cost beyond one branch.
+    wal: Option<Arc<dyn DurabilitySink>>,
 }
 
 /// Internal atomics behind [`MaintenanceStats`].
@@ -284,6 +291,7 @@ impl ShardedRma {
             lock_stats,
             maint_counters: MaintCounters::default(),
             obs: EngineObs::default(),
+            wal: None,
         }
     }
 
@@ -298,6 +306,22 @@ impl ShardedRma {
     /// can read the flag without synchronization.
     pub fn set_observability(&mut self, enabled: bool, journal_capacity: usize) {
         self.obs = EngineObs::new(enabled, journal_capacity);
+    }
+
+    /// Installs the write-ahead log sink. `&mut self` for the same
+    /// reason as [`set_observability`](Self::set_observability): the
+    /// builder wires durability before the engine is shared, so the
+    /// mutation paths read the hook without synchronization.
+    ///
+    /// Recovery replays the log *before* calling this, so replayed
+    /// mutations are not re-logged.
+    pub fn set_durability(&mut self, sink: Arc<dyn DurabilitySink>) {
+        self.wal = Some(sink);
+    }
+
+    /// The installed durability sink, if any.
+    pub fn durability(&self) -> Option<&Arc<dyn DurabilitySink>> {
+        self.wal.as_ref()
     }
 
     /// Empty index with splitters learned from a key sample
@@ -583,12 +607,25 @@ impl ShardedRma {
     /// the shard. Re-routes if maintenance retired the shard
     /// mid-flight.
     pub fn insert(&self, k: Key, v: Value) {
-        self.route_mut_with_retry(k, |guard| guard.mutate(|rma| rma.insert(k, v)));
+        self.route_mut_with_retry(k, |guard| {
+            guard.mutate(|rma| rma.insert(k, v));
+            if let Some(wal) = &self.wal {
+                wal.append(DurabilityOp::Insert(k, v));
+            }
+        });
     }
 
     /// Removes one element with key exactly `k`, returning its value.
     pub fn remove(&self, k: Key) -> Option<Value> {
-        self.route_mut_with_retry(k, |guard| guard.mutate(|rma| rma.remove(k)))
+        self.route_mut_with_retry(k, |guard| {
+            let out = guard.mutate(|rma| rma.remove(k));
+            if out.is_some() {
+                if let Some(wal) = &self.wal {
+                    wal.append(DurabilityOp::Remove(k));
+                }
+            }
+            out
+        })
     }
 
     // ---------------------------------------------- access signal --

@@ -67,6 +67,12 @@ pub struct MaintainerConfig {
     /// Pause between consecutive steps within one tick. Writers
     /// queued behind a step drain during the pause.
     pub step_pause: Duration,
+    /// How often to checkpoint the durability partitions (a
+    /// [`CheckpointShard`](crate::MaintenanceStep::CheckpointShard)
+    /// plan is queued each interval, drained on the ordinary tick
+    /// budget). `None` (the default) never checkpoints from this
+    /// thread; a no-op when no durability sink is installed.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for MaintainerConfig {
@@ -77,6 +83,7 @@ impl Default for MaintainerConfig {
             min_ops_between: 4096,
             steps_per_tick: 4,
             step_pause: Duration::from_micros(500),
+            checkpoint_interval: None,
         }
     }
 }
@@ -96,6 +103,9 @@ impl MaintainerConfig {
         }
         if self.steps_per_tick < 1 {
             return Err(ConfigError::ZeroStepsPerTick);
+        }
+        if self.checkpoint_interval == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroCheckpointInterval);
         }
         Ok(())
     }
@@ -119,6 +129,7 @@ pub struct MaintainerStats {
     merges: AtomicU64,
     nudges: AtomicU64,
     steps: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 impl MaintainerStats {
@@ -153,6 +164,10 @@ impl MaintainerStats {
     /// [`MaintenanceStats::steps_executed`](crate::MaintenanceStats).
     pub fn steps(&self) -> u64 {
         self.steps.load(Relaxed)
+    }
+    /// Checkpoints sealed across all runs (durability cadence).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Relaxed)
     }
 }
 
@@ -257,6 +272,7 @@ fn drain_tick(
                 MaintenanceStep::MergePair { .. } => stats.merges.fetch_add(1, Relaxed),
                 MaintenanceStep::NudgeBoundary { .. } => stats.nudges.fetch_add(1, Relaxed),
                 MaintenanceStep::RebuildShard { .. } => 0,
+                MaintenanceStep::CheckpointShard { .. } => stats.checkpoints.fetch_add(1, Relaxed),
             };
         }
     }
@@ -274,6 +290,7 @@ fn maintainer_loop(
     let mut last_ops = index.op_count();
     let mut last_maintained_ops = last_ops;
     let mut last_poll = Instant::now();
+    let mut last_checkpoint = Instant::now();
     let mut plan: Option<MaintenancePlan> = None;
     // Set when a trigger produced an empty plan (nothing actionable —
     // e.g. an over-backstop shard that is one giant duplicate run and
@@ -312,6 +329,23 @@ fn maintainer_loop(
                     last_maintained_ops = index.op_count();
                 }
                 break 'tick;
+            }
+
+            // Checkpoint cadence: the durability partitions are
+            // re-sealed each interval so crash recovery only replays
+            // one interval's worth of log tail. The plan drains on the
+            // ordinary tick budget, interleaving with rebalancing work
+            // exactly like any other plan.
+            if let Some(interval) = cfg.checkpoint_interval {
+                if last_checkpoint.elapsed() >= interval {
+                    last_checkpoint = Instant::now();
+                    let fresh = index.plan_checkpoints();
+                    if !fresh.is_empty() {
+                        stats.runs.fetch_add(1, Relaxed);
+                        plan = Some(fresh);
+                        break 'tick;
+                    }
+                }
             }
 
             let enough_ops = ops.saturating_sub(last_maintained_ops) >= cfg.min_ops_between;

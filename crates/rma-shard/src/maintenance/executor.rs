@@ -37,6 +37,7 @@ fn step_kind(step: &MaintenanceStep) -> EventKind {
         MaintenanceStep::MergePair { .. } => EventKind::Merge,
         MaintenanceStep::NudgeBoundary { .. } => EventKind::Nudge,
         MaintenanceStep::RebuildShard { .. } => EventKind::Rebuild,
+        MaintenanceStep::CheckpointShard { .. } => EventKind::Checkpoint,
     }
 }
 
@@ -64,14 +65,18 @@ pub struct DrainReport {
     pub nudges: usize,
     /// Executed [`MaintenanceStep::RebuildShard`] steps.
     pub rebuilds: usize,
+    /// Executed [`MaintenanceStep::CheckpointShard`] steps (sealed
+    /// checkpoints; failed seals count as skipped).
+    pub checkpoints: usize,
     /// Steps skipped as stale.
     pub skipped: usize,
 }
 
 impl DrainReport {
-    /// Total steps that actually changed the topology.
+    /// Total steps that executed (checkpoints included — they publish
+    /// no topology but did their work).
     pub fn executed(&self) -> usize {
-        self.splits + self.merges + self.nudges + self.rebuilds
+        self.splits + self.merges + self.nudges + self.rebuilds + self.checkpoints
     }
 }
 
@@ -100,6 +105,7 @@ impl ShardedRma {
                     boundary,
                 } => self.exec_nudge(from, to, target_key, boundary),
                 MaintenanceStep::RebuildShard { lo, hi } => self.exec_rebuild(lo, hi),
+                MaintenanceStep::CheckpointShard { partition } => self.exec_checkpoint(partition),
             }
         };
         let counters = self.maint_counters();
@@ -146,6 +152,7 @@ impl ShardedRma {
                 MaintenanceStep::MergePair { .. } => report.merges += 1,
                 MaintenanceStep::NudgeBoundary { .. } => report.nudges += 1,
                 MaintenanceStep::RebuildShard { .. } => report.rebuilds += 1,
+                MaintenanceStep::CheckpointShard { .. } => report.checkpoints += 1,
             }
         }
         report
@@ -165,6 +172,9 @@ impl ShardedRma {
             MaintenanceStep::RebuildShard { lo, .. } => {
                 lo.map_or(0, |l| topo.splitters.route(l)) as u32
             }
+            // Checkpoints are partition-scoped, not shard-scoped: the
+            // journal's `shard` field carries the partition index.
+            MaintenanceStep::CheckpointShard { partition } => partition as u32,
         }
     }
 
@@ -427,6 +437,37 @@ impl ShardedRma {
         shards.splice(j0..=j1, built);
         self.publish_step(guards, Topology { splitters, shards });
         Some((q - p) as u64)
+    }
+
+    /// Seal a checkpoint of durability partition `p`: under write
+    /// locks on every shard overlapping the partition's key range,
+    /// draw the cut LSN (no same-partition append can race it — the
+    /// sink logs under these very locks) and copy the residents out;
+    /// then release the locks and do the file I/O. Unlike every other
+    /// step this restructures nothing: no shard is retired, no
+    /// topology published, so the locked window is one read sweep of
+    /// the partition.
+    fn exec_checkpoint(&self, p: usize) -> Option<u64> {
+        let sink = Arc::clone(self.durability()?);
+        if p >= sink.partitions() {
+            return None;
+        }
+        let (lo, hi) = sink.partition_range(p);
+        let topo = self.topo_handle().load_exclusive();
+        let n = topo.shards.len();
+        let j0 = lo.map_or(0, |l| topo.splitters.route(l));
+        let j1 = hi.map_or(n - 1, |h| topo.splitters.route(h.saturating_sub(1)));
+        let (cut, elems) = {
+            let guards = StepGuards::lock(&topo.shards, j0..=j1);
+            let cut = sink.checkpoint_cut(p);
+            let mut elems = guards.collect_elems();
+            // Edge shards may straddle the partition boundary; the
+            // checkpoint owns exactly `[lo, hi)`.
+            elems.retain(|&(k, _)| lo.is_none_or(|l| k >= l) && hi.is_none_or(|h| k < h));
+            (cut, elems)
+        };
+        sink.seal_checkpoint(p, cut, &elems)
+            .then_some(elems.len() as u64)
     }
 }
 

@@ -96,6 +96,18 @@ pub enum MaintenanceStep {
         /// Exclusive upper bound of the target range.
         hi: Option<Key>,
     },
+    /// Seal a durable checkpoint of one durability partition: lock
+    /// the shards overlapping the partition's key range, draw the cut
+    /// LSN and copy the residents out, then (outside the locks) write
+    /// the checkpoint segment and manifest through the installed
+    /// [`DurabilitySink`](crate::DurabilitySink). The only step kind
+    /// that publishes **no** topology — it reads the shards, never
+    /// restructures them. Skipped when no sink is installed or the
+    /// seal fails (the previous checkpoint stays authoritative).
+    CheckpointShard {
+        /// The durability partition to checkpoint.
+        partition: usize,
+    },
 }
 
 /// An ordered queue of [`MaintenanceStep`]s produced by one planner
@@ -329,6 +341,26 @@ impl ShardedRma {
             Vec::new()
         };
         self.finish_plan(steps, true, report)
+    }
+
+    /// One [`CheckpointShard`](MaintenanceStep::CheckpointShard) step
+    /// per durability partition — the plan the background maintainer
+    /// drains on its checkpoint cadence, also drainable synchronously
+    /// for an on-demand checkpoint. Empty when no durability sink is
+    /// installed.
+    pub fn plan_checkpoints(&self) -> MaintenancePlan {
+        let n = self.num_shards();
+        let report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let steps = self.durability().map_or(Vec::new(), |sink| {
+            (0..sink.partitions())
+                .map(|partition| MaintenanceStep::CheckpointShard { partition })
+                .collect()
+        });
+        self.finish_plan(steps, false, report)
     }
 
     /// Records plan counters and wraps the steps.

@@ -11,7 +11,7 @@
 //! falling back to the shard read lock otherwise — see the crate docs
 //! for the consistency contract.
 
-use crate::{ShardedRma, DECAY_TICK_BATCH};
+use crate::{DurabilityOp, ShardedRma, DECAY_TICK_BATCH};
 use rma_core::{Key, Value};
 use std::sync::atomic::Ordering::Relaxed;
 
@@ -142,7 +142,13 @@ impl ShardedRma {
                     if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
                         self.tick_decay(topo, DECAY_TICK_BATCH);
                     }
-                    return Some(g.mutate(|rma| rma.remove_successor(from)));
+                    let out = g.mutate(|rma| rma.remove_successor(from));
+                    // Effect-log under the same lock: the WAL records
+                    // the key actually removed, not the probe key.
+                    if let (Some((rk, _)), Some(wal)) = (out, self.durability()) {
+                        wal.append(DurabilityOp::Remove(rk));
+                    }
+                    return Some(out);
                 }
             }
             // No successor anywhere: remove the global maximum, which
@@ -159,7 +165,11 @@ impl ShardedRma {
                     if (prev + 1).is_multiple_of(DECAY_TICK_BATCH) {
                         self.tick_decay(topo, DECAY_TICK_BATCH);
                     }
-                    return Some(g.mutate(|rma| rma.remove_successor(Key::MAX)));
+                    let out = g.mutate(|rma| rma.remove_successor(Key::MAX));
+                    if let (Some((rk, _)), Some(wal)) = (out, self.durability()) {
+                        wal.append(DurabilityOp::Remove(rk));
+                    }
+                    return Some(out);
                 }
             }
             Some(None)

@@ -31,6 +31,12 @@
 //!   bounded MPSC maintenance-event journal, static counters/gauges,
 //!   and cheap monotonic timestamps — everything
 //!   [`Db::metrics`](rma_db::Db::metrics) is assembled from;
+//! * [`wal`] — the **durability subsystem**: group-committed
+//!   per-partition write-ahead logs (length-prefixed, checksummed
+//!   records), maintenance-sealed checkpoints with an atomically
+//!   replaced manifest, parallel crash recovery with torn-tail
+//!   truncation, and a deterministic fault-injection harness
+//!   (seeded kill-points, injected short writes and bit flips);
 //! * [`pma`] — the Traditional PMA baseline and the APMA
 //!   re-implementation;
 //! * [`abtree`] — the (a,b)-tree comparator and the static dense
@@ -101,4 +107,5 @@ pub use rma_core as rma;
 pub use rma_db as db;
 pub use rma_obs as obs;
 pub use rma_shard as shard;
+pub use rma_wal as wal;
 pub use workloads;
