@@ -14,7 +14,11 @@
 //! * `nudge` (drift phase set only) — [`RelearnStrategy::NudgeOnly`]:
 //!   boundaries chase the band via single-pair migrations, never a
 //!   full rebuild — the cheap tracking mode a *drifting* hotspot
-//!   should reward.
+//!   should reward;
+//! * `compact` (jump phase set only) — as `relearn`, plus the
+//!   idle-time consolidation chain run in the quiet period at every
+//!   phase boundary, so the split accretion cannot ratchet the shard
+//!   count phase over phase.
 //!
 //! Each phase runs half its operations, calls
 //! [`maintain`](rma_shard::ShardedRma::maintain), resets the (measurement)
@@ -57,6 +61,10 @@ enum Mode {
     Relearn,
     /// `nudge`: ByAccess + boundary nudges only.
     Nudge,
+    /// `compact`: as `relearn`, plus the idle-time consolidation
+    /// chain ([`rma_shard::ShardedRma::compact`]) in the quiet period
+    /// at each phase boundary — the anti-ratchet mode.
+    Compact,
 }
 
 fn mode_config(cli: &Cli, mode: Mode) -> ShardConfig {
@@ -126,10 +134,18 @@ fn run_mode(cli: &Cli, mode: Mode, motion: HotspotMotion) -> Vec<PhaseRow> {
         let (rl, mt) = index.maintain();
         index.reset_access_stats();
         run_half(phase_ops - half);
+        let imbalance_after = index.access_imbalance();
+        // Compact mode: the phase boundary is a quiet period — run
+        // the consolidation chain there, exactly where the background
+        // maintainer's idle gate would, so the accreted split count
+        // cannot ratchet phase over phase.
+        if mode == Mode::Compact {
+            index.compact();
+        }
         rows.push(PhaseRow {
             phase,
             imbalance_before,
-            imbalance_after: index.access_imbalance(),
+            imbalance_after,
             relearned: rl.relearned,
             splits: mt.splits,
             merges: mt.merges,
@@ -201,6 +217,20 @@ fn write_json(path: &str, modes: &[(&str, &[PhaseRow])], cli: &Cli) -> std::io::
         "  \"imbalance_ratio\": {:.4},\n",
         relearn / base.max(1e-12)
     ));
+    let compact = mean_of("compact");
+    let compact_final_shards = modes
+        .iter()
+        .find(|(m, _)| *m == "compact")
+        .and_then(|(_, rows)| rows.last())
+        .map(|r| r.shards)
+        .expect("compact mode present");
+    json.push_str(&format!(
+        "  \"mean_imbalance_compact\": {compact:.4},\n  \"compact_final_shards\": {compact_final_shards},\n"
+    ));
+    json.push_str(&format!(
+        "  \"imbalance_ratio_compact\": {:.4},\n",
+        compact / base.max(1e-12)
+    ));
     let base_drift = mean_of("median_baseline_drift");
     let relearn_drift = mean_of("relearn_drift");
     let nudge_drift = mean_of("nudge_drift");
@@ -241,6 +271,7 @@ fn main() {
     );
     let baseline = run_mode(&cli, Mode::Baseline, HotspotMotion::Jump);
     let relearn = run_mode(&cli, Mode::Relearn, HotspotMotion::Jump);
+    let compact = run_mode(&cli, Mode::Compact, HotspotMotion::Jump);
     let baseline_drift = run_mode(&cli, Mode::Baseline, drift_step());
     let relearn_drift = run_mode(&cli, Mode::Relearn, drift_step());
     let nudge_drift = run_mode(&cli, Mode::Nudge, drift_step());
@@ -270,6 +301,12 @@ fn main() {
         "# mean post-maintenance imbalance (jump): baseline {mb:.2}, relearn {mr:.2}, ratio {:.3}",
         mr / mb.max(1e-12)
     );
+    println!(
+        "# compact mode (jump): mean imbalance {:.2}, final shards {} (relearn ends at {})",
+        mean_after(&compact),
+        compact.last().map_or(0, |r| r.shards),
+        relearn.last().map_or(0, |r| r.shards)
+    );
     let (db, dr, dn) = (
         mean_after(&baseline_drift),
         mean_after(&relearn_drift),
@@ -287,6 +324,7 @@ fn main() {
         &[
             ("median_baseline", &baseline),
             ("relearn", &relearn),
+            ("compact", &compact),
             ("median_baseline_drift", &baseline_drift),
             ("relearn_drift", &relearn_drift),
             ("nudge_drift", &nudge_drift),

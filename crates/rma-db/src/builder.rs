@@ -179,6 +179,21 @@ impl DbBuilder {
         self
     }
 
+    /// Tunes the maintainer's idle-time compaction gate without
+    /// restating the whole [`MaintainerConfig`]: consolidation
+    /// engages when the op rate drops below `idle_ops_threshold`
+    /// (ops/s) while the live shard count exceeds `target_factor ×`
+    /// the configured `num_shards`. Implies
+    /// [`maintenance`](Self::maintenance) with defaults when none was
+    /// set; both values are validated at [`build`](Self::build).
+    pub fn idle_compaction(mut self, idle_ops_threshold: f64, target_factor: f64) -> Self {
+        let mut cfg = self.maintenance.unwrap_or_default();
+        cfg.idle_ops_threshold = idle_ops_threshold;
+        cfg.compact_target_factor = target_factor;
+        self.maintenance = Some(cfg);
+        self
+    }
+
     /// Router worker thread count. Default:
     /// `min(available_parallelism, num_shards)`.
     pub fn router_workers(mut self, n: usize) -> Self {

@@ -278,7 +278,20 @@ impl Db {
             nudges: s.nudges(),
             steps: s.steps(),
             checkpoints: s.checkpoints(),
+            steps_dropped: s.steps_dropped(),
+            consolidations: s.consolidations(),
         })
+    }
+
+    /// Synchronous shard-count consolidation
+    /// ([`rma_shard::ShardedRma::compact`]): merges the coldest
+    /// neighbour pairs in cap-bounded steps until the live shard
+    /// count reaches the configured target, returning the merges
+    /// executed. The background maintainer runs the same chain
+    /// automatically in idle troughs; call this for an on-demand
+    /// compaction at a known quiet point.
+    pub fn compact(&self) -> usize {
+        self.engine.compact()
     }
 
     // ------------------------------------------------- data plane --
@@ -447,6 +460,12 @@ pub struct MaintainerSnapshot {
     pub steps: u64,
     /// Durability checkpoints sealed by the maintainer.
     pub checkpoints: u64,
+    /// Plan steps dropped un-executed by the scheduler's staleness
+    /// check (the world drifted; the maintainer re-planned).
+    pub steps_dropped: u64,
+    /// Merges executed by the idle-time consolidation chain (a
+    /// subset of `merges`).
+    pub consolidations: u64,
 }
 
 /// Errors from the checked direct-call write methods
@@ -542,6 +561,48 @@ mod tests {
         assert!(matches!(
             Db::builder().adaptive_decay(-1.0).build().unwrap_err(),
             ConfigError::Engine(EngineError::NonPositiveDecayHalfLife(_))
+        ));
+    }
+
+    #[test]
+    fn compact_walks_a_fragmented_facade_back_to_target() {
+        // A handle built over a deliberately over-fragmented splitter
+        // set: `compact()` must walk the shard count back to the
+        // engine target and report one merge per retired shard, and
+        // the maintainer snapshot must surface the scheduler's new
+        // counters.
+        let db = small()
+            .splitter_keys((1..16).map(|i| i * 100).collect())
+            // Parked poll cadence: the background thread must not race
+            // the synchronous `compact()` this test measures.
+            .maintenance(rma_shard::MaintainerConfig {
+                poll_interval: std::time::Duration::from_secs(3600),
+                ..Default::default()
+            })
+            .idle_compaction(500.0, 2.0)
+            .build()
+            .expect("valid config");
+        for k in 0..1600i64 {
+            db.insert(k, k);
+        }
+        assert_eq!(db.stats().engine.num_shards, 16);
+        let merges = db.compact();
+        assert_eq!(merges, 12, "16 shards must consolidate to the target of 4");
+        assert_eq!(db.stats().engine.num_shards, 4);
+        assert_eq!(db.stats().engine.len, 1600);
+        let m = db.stats().maintainer.expect("maintainer configured");
+        assert_eq!(
+            m.steps_dropped, 0,
+            "nothing drifted under a synchronous compact"
+        );
+        // Invalid idle knobs are rejected through the typed path.
+        assert!(matches!(
+            small().idle_compaction(0.0, 2.0).build().unwrap_err(),
+            ConfigError::Engine(EngineError::IdleOpsThresholdNotPositive(_))
+        ));
+        assert!(matches!(
+            small().idle_compaction(500.0, 0.5).build().unwrap_err(),
+            ConfigError::Engine(EngineError::CompactTargetFactorBelowOne(_))
         ));
     }
 

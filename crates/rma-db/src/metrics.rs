@@ -222,10 +222,11 @@ impl MetricsSnapshot {
         }
 
         let e = &self.db.engine;
-        let gauges: [(&str, u64); 4] = [
+        let gauges: [(&str, u64); 5] = [
             ("rma_len", e.len as u64),
             ("rma_shards", e.num_shards as u64),
             ("rma_memory_bytes", e.memory_footprint as u64),
+            ("rma_splitter_bytes", e.splitter_bytes as u64),
             ("rma_router_workers", self.db.router.workers as u64),
         ];
         for (name, v) in gauges {
@@ -248,6 +249,7 @@ impl MetricsSnapshot {
             ("rma_maintenance_steps_planned_total", m.steps_planned),
             ("rma_maintenance_steps_executed_total", m.steps_executed),
             ("rma_maintenance_steps_skipped_total", m.steps_skipped),
+            ("rma_maintenance_steps_dropped_total", m.steps_dropped),
             ("rma_maintenance_keys_migrated_total", m.keys_migrated),
             ("rma_maintenance_nudges_total", m.nudges),
             ("rma_topologies_published_total", m.topologies_published),
@@ -269,6 +271,8 @@ impl MetricsSnapshot {
                 ("rma_maintainer_nudges_total", mt.nudges),
                 ("rma_maintainer_steps_total", mt.steps),
                 ("rma_maintainer_checkpoints_total", mt.checkpoints),
+                ("rma_maintainer_steps_dropped_total", mt.steps_dropped),
+                ("rma_maintainer_consolidations_total", mt.consolidations),
             ]);
         }
         for (name, v) in counters {
@@ -398,10 +402,11 @@ impl std::fmt::Display for DbSnapshot {
         let e = &self.engine;
         writeln!(
             f,
-            "engine: {} elems in {} shards, {:.1} MiB, imbalance {:.2}",
+            "engine: {} elems in {} shards, {:.1} MiB ({} splitter bytes), imbalance {:.2}",
             e.len,
             e.num_shards,
             e.memory_footprint as f64 / (1024.0 * 1024.0),
+            e.splitter_bytes,
             e.access_imbalance
         )?;
         writeln!(
@@ -412,13 +417,14 @@ impl std::fmt::Display for DbSnapshot {
         let m = &e.maintenance;
         writeln!(
             f,
-            "maintenance: {} plans, {}/{} steps executed/planned ({} skipped), \
+            "maintenance: {} plans, {}/{} steps executed/planned ({} skipped, {} dropped), \
              {} keys migrated, {} topologies, max step {:.1} µs, \
              {} batch + {} write reroutes",
             m.plans,
             m.steps_executed,
             m.steps_planned,
             m.steps_skipped,
+            m.steps_dropped,
             m.keys_migrated,
             m.topologies_published,
             us(m.max_step_wall_ns),
@@ -442,7 +448,8 @@ impl std::fmt::Display for MaintainerSnapshot {
         writeln!(
             f,
             "maintainer: {} polls, {} runs, {} relearns, \
-             {} splits / {} merges / {} nudges, {} steps, {} checkpoints",
+             {} splits / {} merges / {} nudges, {} steps ({} dropped), \
+             {} checkpoints, {} consolidation merges",
             self.polls,
             self.runs,
             self.relearns,
@@ -450,7 +457,9 @@ impl std::fmt::Display for MaintainerSnapshot {
             self.merges,
             self.nudges,
             self.steps,
-            self.checkpoints
+            self.steps_dropped,
+            self.checkpoints,
+            self.consolidations
         )
     }
 }

@@ -44,6 +44,13 @@ pub enum EventKind {
     /// The write-ahead log hit a device error and the database
     /// degraded to read-only.
     DegradedMode = 10,
+    /// The idle-time compactor planned a consolidation round (merges
+    /// steering the shard count back toward the configured target).
+    Consolidate = 11,
+    /// A plan's remaining steps were dropped as stale: the live
+    /// topology drifted past the scheduler's staleness bound between
+    /// planning and execution, so the tail was discarded un-executed.
+    StepDropped = 12,
 }
 
 impl EventKind {
@@ -60,6 +67,8 @@ impl EventKind {
             8 => EventKind::Checkpoint,
             9 => EventKind::Recovery,
             10 => EventKind::DegradedMode,
+            11 => EventKind::Consolidate,
+            12 => EventKind::StepDropped,
             _ => return None,
         })
     }
@@ -78,6 +87,8 @@ impl EventKind {
             EventKind::Checkpoint => "checkpoint",
             EventKind::Recovery => "recovery",
             EventKind::DegradedMode => "degraded_mode",
+            EventKind::Consolidate => "consolidate",
+            EventKind::StepDropped => "step_dropped",
         }
     }
 }

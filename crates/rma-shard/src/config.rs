@@ -287,6 +287,16 @@ pub enum ConfigError {
     /// Maintainer `checkpoint_interval` is `Some(0)`: the maintainer
     /// would do nothing but checkpoint.
     ZeroCheckpointInterval,
+    /// Maintainer `idle_ops_threshold` is zero, negative or NaN: the
+    /// idle-compaction gate could never (or always) open.
+    IdleOpsThresholdNotPositive(f64),
+    /// Maintainer `compact_target_factor < 1` (or NaN): consolidation
+    /// would merge below the configured shard target and oscillate
+    /// against the split pass.
+    CompactTargetFactorBelowOne(f64),
+    /// Maintainer `stale_drift` is zero, negative or NaN: every plan
+    /// would be dropped before its first step.
+    StaleDriftNotPositive(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -336,6 +346,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroStepsPerTick => f.write_str("need at least one step per tick"),
             ConfigError::ZeroCheckpointInterval => {
                 f.write_str("checkpoint interval must be positive (or None)")
+            }
+            ConfigError::IdleOpsThresholdNotPositive(x) => {
+                write!(f, "idle ops threshold must be positive (got {x})")
+            }
+            ConfigError::CompactTargetFactorBelowOne(x) => write!(
+                f,
+                "compact target factor below 1 would merge past the \
+                 configured shard target (got {x})"
+            ),
+            ConfigError::StaleDriftNotPositive(x) => {
+                write!(f, "stale drift bound must be positive (got {x})")
             }
         }
     }

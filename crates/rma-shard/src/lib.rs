@@ -160,6 +160,9 @@ pub struct EngineSnapshot {
     pub num_shards: usize,
     /// Resident bytes across all shards.
     pub memory_footprint: usize,
+    /// Bytes held by the splitter array the router searches — grows
+    /// with the live shard count, shrinks under consolidation.
+    pub splitter_bytes: usize,
     /// Operations recorded on the shared decay clock (in
     /// `DECAY_TICK_BATCH`-sized granules for point ops).
     pub op_count: u64,
@@ -218,6 +221,7 @@ pub(crate) struct MaintCounters {
     pub(crate) steps_planned: AtomicU64,
     pub(crate) steps_executed: AtomicU64,
     pub(crate) steps_skipped: AtomicU64,
+    pub(crate) steps_dropped: AtomicU64,
     pub(crate) keys_migrated: AtomicU64,
     pub(crate) nudges: AtomicU64,
     pub(crate) max_step_ns: AtomicU64,
@@ -240,6 +244,11 @@ pub struct MaintenanceStats {
     /// Steps skipped as stale (the topology moved between planning
     /// and execution).
     pub steps_skipped: u64,
+    /// Steps dropped un-executed by the scheduler's staleness check:
+    /// the live shard count or access masses drifted past the drift
+    /// bound, so the plan's remaining tail was discarded and the
+    /// caller re-planned instead.
+    pub steps_dropped: u64,
     /// Elements moved into rebuilt shards across all executed steps
     /// (a nudge counts only the migrated range; a rebuild counts the
     /// rebuilt range's residents).
@@ -442,6 +451,7 @@ impl ShardedRma {
             steps_planned: c.steps_planned.load(Relaxed),
             steps_executed: c.steps_executed.load(Relaxed),
             steps_skipped: c.steps_skipped.load(Relaxed),
+            steps_dropped: c.steps_dropped.load(Relaxed),
             keys_migrated: c.keys_migrated.load(Relaxed),
             nudges: c.nudges.load(Relaxed),
             topologies_published: self.handle.publications(),
@@ -492,6 +502,7 @@ impl ShardedRma {
             len,
             num_shards: topo.shards.len(),
             memory_footprint,
+            splitter_bytes: std::mem::size_of_val(topo.splitters.keys()),
             op_count: self.op_count(),
             access_imbalance,
             read_locks,

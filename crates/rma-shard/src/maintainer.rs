@@ -24,7 +24,20 @@
 //!    [`MaintainerConfig::min_ops_between`] operations arrived since
 //!    the previous plan finished, asks the planner
 //!    ([`ShardedRma::plan_maintenance`]) for a fresh plan (so an idle
-//!    index never churns).
+//!    index never churns);
+//! 4. when instead the op rate has stayed *below*
+//!    [`MaintainerConfig::idle_ops_threshold`] for
+//!    [`IDLE_CONFIRM_POLLS`] consecutive polls and the live shard
+//!    count exceeds [`MaintainerConfig::compact_target_factor`] ×
+//!    the configured `num_shards`, schedules one round of the
+//!    idle-time consolidation chain
+//!    ([`ShardedRma::plan_consolidation`]) — cap-bounded merges of
+//!    the coldest neighbour pairs that steer an accreted topology
+//!    back toward its target in the troughs between bursts.
+//!
+//! Plans drain highest-score-first, and an in-flight plan whose
+//! world drifted past [`MaintainerConfig::stale_drift`] has its tail
+//! dropped and is re-planned — a re-plan supersedes, never appends.
 //!
 //! Under [`RelearnStrategy::Monolithic`](crate::RelearnStrategy) the
 //! plan engine is bypassed and the thread runs the old synchronous
@@ -46,6 +59,15 @@ use crate::{ConfigError, MaintenancePlan, MaintenanceStep, RelearnStrategy, Shar
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Consecutive sub-[`idle_ops_threshold`] poll windows required
+/// before the idle gate opens. One empty window is not idleness — a
+/// briefly descheduled writer produces the same zero-op poll a real
+/// trough does, and a spurious consolidation round fighting a live
+/// workload is exactly what the gate exists to prevent.
+///
+/// [`idle_ops_threshold`]: MaintainerConfig::idle_ops_threshold
+pub const IDLE_CONFIRM_POLLS: u32 = 3;
 
 /// Cadence and triggers of the background maintainer.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +95,26 @@ pub struct MaintainerConfig {
     /// budget). `None` (the default) never checkpoints from this
     /// thread; a no-op when no durability sink is installed.
     pub checkpoint_interval: Option<Duration>,
+    /// Op-rate (ops/s, shared-clock granules) below which a poll
+    /// counts as *idle*. [`IDLE_CONFIRM_POLLS`] consecutive idle
+    /// polls open the gate and may schedule the shard-count
+    /// consolidation chain
+    /// ([`ShardedRma::plan_consolidation`]) instead of load-driven
+    /// maintenance. The compactor runs only in the troughs between
+    /// bursts, so it never competes with a hot workload for the
+    /// memory bus.
+    pub idle_ops_threshold: f64,
+    /// Consolidation engages when the live shard count exceeds this
+    /// factor times `ShardConfig::num_shards` — the slack that keeps
+    /// an on-target topology from oscillating merge/split. Must be
+    /// ≥ 1.0.
+    pub compact_target_factor: f64,
+    /// Relative drift bound for the scheduler's staleness check
+    /// ([`ShardedRma::execute_step_with`]): an in-flight plan whose
+    /// live shard count or access masses moved more than this
+    /// fraction since its last executed step has its remaining tail
+    /// dropped and is re-planned from fresh signals.
+    pub stale_drift: f64,
 }
 
 impl Default for MaintainerConfig {
@@ -84,6 +126,9 @@ impl Default for MaintainerConfig {
             steps_per_tick: 4,
             step_pause: Duration::from_micros(500),
             checkpoint_interval: None,
+            idle_ops_threshold: 1000.0,
+            compact_target_factor: 2.0,
+            stale_drift: crate::maintenance::executor::DEFAULT_STALE_DRIFT,
         }
     }
 }
@@ -106,6 +151,24 @@ impl MaintainerConfig {
         }
         if self.checkpoint_interval == Some(Duration::ZERO) {
             return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        // `partial_cmp` negations so NaN fails closed alongside zero
+        // and negatives.
+        if self.idle_ops_threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::IdleOpsThresholdNotPositive(
+                self.idle_ops_threshold,
+            ));
+        }
+        if !matches!(
+            self.compact_target_factor.partial_cmp(&1.0),
+            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        ) {
+            return Err(ConfigError::CompactTargetFactorBelowOne(
+                self.compact_target_factor,
+            ));
+        }
+        if self.stale_drift.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::StaleDriftNotPositive(self.stale_drift));
         }
         Ok(())
     }
@@ -130,6 +193,8 @@ pub struct MaintainerStats {
     nudges: AtomicU64,
     steps: AtomicU64,
     checkpoints: AtomicU64,
+    steps_dropped: AtomicU64,
+    consolidations: AtomicU64,
 }
 
 impl MaintainerStats {
@@ -168,6 +233,18 @@ impl MaintainerStats {
     /// Checkpoints sealed across all runs (durability cadence).
     pub fn checkpoints(&self) -> u64 {
         self.checkpoints.load(Relaxed)
+    }
+    /// Plan steps dropped un-executed by the scheduler's staleness
+    /// check across all runs — mirrors
+    /// [`MaintenanceStats::steps_dropped`](crate::MaintenanceStats)
+    /// for the plans this thread drained.
+    pub fn steps_dropped(&self) -> u64 {
+        self.steps_dropped.load(Relaxed)
+    }
+    /// Merges executed by the idle-time consolidation chain (a subset
+    /// of [`merges`](Self::merges)).
+    pub fn consolidations(&self) -> u64 {
+        self.consolidations.load(Relaxed)
     }
 }
 
@@ -242,7 +319,9 @@ impl ShardedRma {
 }
 
 /// Executes up to `steps_per_tick` steps of `plan`, pausing between
-/// steps; returns `true` when the plan is fully drained.
+/// steps; returns `true` when the plan is fully drained (including a
+/// plan whose stale tail the scheduler dropped — the caller re-plans
+/// from fresh signals, so a re-plan supersedes rather than appends).
 fn drain_tick(
     index: &ShardedRma,
     cfg: &MaintainerConfig,
@@ -250,33 +329,53 @@ fn drain_tick(
     stats: &MaintainerStats,
     plan: &mut MaintenancePlan,
 ) -> bool {
-    for executed in 0..cfg.steps_per_tick {
-        if stop.load(Relaxed) {
-            return false; // abandoned mid-drain: every step was complete
-        }
-        // Inter-step pause *before* each subsequent step: writers
-        // queued behind the previous publication drain undisturbed.
-        if executed > 0 && cfg.step_pause > Duration::ZERO {
-            std::thread::park_timeout(cfg.step_pause);
+    let dropped_before = plan.dropped();
+    let done = 'drain: {
+        for executed in 0..cfg.steps_per_tick {
             if stop.load(Relaxed) {
-                return false;
+                // Abandoned mid-drain: every step was complete.
+                break 'drain false;
+            }
+            // Inter-step pause *before* each subsequent step: writers
+            // queued behind the previous publication drain undisturbed.
+            if executed > 0 && cfg.step_pause > Duration::ZERO {
+                std::thread::park_timeout(cfg.step_pause);
+                if stop.load(Relaxed) {
+                    break 'drain false;
+                }
+            }
+            let Some(report) = index.execute_step_with(plan, cfg.stale_drift) else {
+                break 'drain true;
+            };
+            if report.executed {
+                stats.steps.fetch_add(1, Relaxed);
+                match report.step {
+                    MaintenanceStep::SplitShard { .. } => {
+                        stats.splits.fetch_add(1, Relaxed);
+                    }
+                    MaintenanceStep::MergePair { .. } => {
+                        stats.merges.fetch_add(1, Relaxed);
+                        if plan.consolidation_planned() {
+                            stats.consolidations.fetch_add(1, Relaxed);
+                        }
+                    }
+                    MaintenanceStep::NudgeBoundary { .. } => {
+                        stats.nudges.fetch_add(1, Relaxed);
+                    }
+                    MaintenanceStep::RebuildShard { .. } => {}
+                    MaintenanceStep::CheckpointShard { .. } => {
+                        stats.checkpoints.fetch_add(1, Relaxed);
+                    }
+                }
             }
         }
-        let Some(report) = index.execute_step(plan) else {
-            return true;
-        };
-        if report.executed {
-            stats.steps.fetch_add(1, Relaxed);
-            match report.step {
-                MaintenanceStep::SplitShard { .. } => stats.splits.fetch_add(1, Relaxed),
-                MaintenanceStep::MergePair { .. } => stats.merges.fetch_add(1, Relaxed),
-                MaintenanceStep::NudgeBoundary { .. } => stats.nudges.fetch_add(1, Relaxed),
-                MaintenanceStep::RebuildShard { .. } => 0,
-                MaintenanceStep::CheckpointShard { .. } => stats.checkpoints.fetch_add(1, Relaxed),
-            };
-        }
+        plan.is_empty()
+    };
+    let newly_dropped = plan.dropped().saturating_sub(dropped_before);
+    if newly_dropped > 0 {
+        stats.steps_dropped.fetch_add(newly_dropped, Relaxed);
     }
-    plan.is_empty()
+    done
 }
 
 fn maintainer_loop(
@@ -298,6 +397,14 @@ fn maintainer_loop(
     // falls back to the op backstop, so an unplannable condition
     // cannot re-run the planner on every poll forever.
     let mut last_plan_empty = false;
+    // Shard count at which the last idle-consolidation attempt planned
+    // nothing (no mergeable pair under the step bound): skip re-asking
+    // the planner at that count, so an unmergeable topology cannot
+    // re-run it on every idle poll forever.
+    let mut last_compact_noop_shards = 0usize;
+    // Consecutive polls whose op rate stayed below the idle
+    // threshold. The gate opens only on a sustained streak.
+    let mut idle_streak = 0u32;
     while !stop.load(Relaxed) {
         std::thread::park_timeout(cfg.poll_interval);
         if stop.load(Relaxed) {
@@ -309,10 +416,16 @@ fn maintainer_loop(
         'tick: {
             let ops = index.op_count();
             let elapsed = last_poll.elapsed().as_secs_f64();
-            if elapsed > 0.0 {
-                // `reset_access_stats` rewinds the clock; saturate so
-                // a rewind reads as a quiet interval, not a huge rate.
-                index.retune_decay(ops.saturating_sub(last_ops) as f64 / elapsed);
+            // Op-rate estimate for this poll window: drives both the
+            // adaptive decay retune and the idle-consolidation gate.
+            // Defaults to "busy" when the window is too short to
+            // measure, and when `reset_access_stats` rewound the
+            // clock — a rewind says nothing about load, and reading
+            // it as rate 0 would open the idle gate mid-burst.
+            let mut rate = f64::INFINITY;
+            if elapsed > 0.0 && ops >= last_ops {
+                rate = (ops - last_ops) as f64 / elapsed;
+                index.retune_decay(rate);
             }
             last_poll = Instant::now();
             // A clock rewind also invalidates the op-based backstop.
@@ -320,6 +433,14 @@ fn maintainer_loop(
                 last_maintained_ops = ops;
             }
             last_ops = ops;
+            // One sub-threshold window is not idleness: a briefly
+            // descheduled writer produces the same zero-op poll a
+            // real trough does. Require a sustained streak.
+            idle_streak = if rate < cfg.idle_ops_threshold {
+                idle_streak.saturating_add(1)
+            } else {
+                0
+            };
 
             // Drain an in-flight plan on the tick budget before
             // looking at the trigger signals again.
@@ -396,6 +517,29 @@ fn maintainer_loop(
                         stats.relearns.fetch_add(1, Relaxed);
                     }
                     plan = Some(fresh);
+                }
+                break 'tick;
+            }
+
+            // Idle-time consolidation: when the workload is in a
+            // trough and accreted splits have ratcheted the shard
+            // count past the configured slack, schedule one
+            // cap-bounded merge round. Deliberately NOT throttled by
+            // `min_ops_between` — idle means few ops arrive, so the op
+            // backstop would park the compactor exactly when it is
+            // safe to run.
+            if plan.is_none() && !monolithic && idle_streak >= IDLE_CONFIRM_POLLS {
+                let live = index.num_shards();
+                let target =
+                    (cfg.compact_target_factor * index.config().num_shards as f64).ceil() as usize;
+                if live > target && live != last_compact_noop_shards {
+                    let fresh = index.plan_consolidation();
+                    if fresh.is_empty() {
+                        last_compact_noop_shards = live;
+                    } else {
+                        stats.runs.fetch_add(1, Relaxed);
+                        plan = Some(fresh);
+                    }
                 }
             }
         }
@@ -510,6 +654,160 @@ mod tests {
         }
         m.stop();
         assert_ne!(s.decay_period(), 8192, "maintainer never retuned decay");
+    }
+
+    #[test]
+    fn idle_maintainer_consolidates_an_accreted_topology() {
+        // 16 live shards against a configured target of 2: with no
+        // load at all, the idle gate must engage and merge the count
+        // back under compact_target_factor × num_shards.
+        let mut cfg = small_cfg(16);
+        cfg.num_shards = 2;
+        let s = Arc::new(ShardedRma::with_splitters(
+            cfg,
+            Splitters::new((1..16).map(|i| i * 100).collect()),
+        ));
+        for k in 0..1600i64 {
+            s.insert(k, k);
+        }
+        let m = s.start_maintainer(MaintainerConfig {
+            poll_interval: Duration::from_millis(1),
+            step_pause: Duration::from_micros(100),
+            idle_ops_threshold: 1_000_000.0, // everything counts as idle
+            compact_target_factor: 2.0,
+            ..Default::default()
+        });
+        for _ in 0..1000 {
+            if s.num_shards() <= 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stats = m.stop();
+        s.check_invariants();
+        assert!(
+            s.num_shards() <= 4,
+            "idle compaction never converged: {} shards, {stats:?}",
+            s.num_shards()
+        );
+        assert!(
+            stats.consolidations() > 0,
+            "consolidation merges must be counted: {stats:?}"
+        );
+        assert_eq!(s.len(), 1600, "compaction must not lose data");
+    }
+
+    #[test]
+    fn busy_maintainer_never_consolidates() {
+        // Same accreted topology, but the op rate stays far above the
+        // idle threshold: the compactor must stay parked. The op rate
+        // is a wall-clock signal, so on an oversubscribed host the
+        // loader thread itself can be descheduled long enough to *be*
+        // idle — such a run proves nothing either way and is retried;
+        // the test only fails when the compactor ran even though the
+        // loader never paused for a full poll window.
+        let poll = Duration::from_millis(10);
+        for attempt in 0..5 {
+            let mut cfg = small_cfg(8);
+            cfg.num_shards = 2;
+            let s = Arc::new(ShardedRma::with_splitters(
+                cfg,
+                Splitters::new((1..8).map(|i| i * 1000).collect()),
+            ));
+            for k in 0..8000i64 {
+                s.insert(k, k);
+            }
+            // Uniform hammering from a separate thread, started
+            // *before* the maintainer so its very first poll already
+            // sees a high op rate. The periodic `reset_access_stats`
+            // rewinds the op clock mid-burst: a rewound window must
+            // read as *busy*, not as rate 0 (which would open the
+            // idle gate under load). The loader records its longest
+            // inter-sweep gap so a starved run can be told apart.
+            let stop_load = Arc::new(AtomicBool::new(false));
+            let max_gap_ns = Arc::new(AtomicU64::new(0));
+            let loader = {
+                let s = Arc::clone(&s);
+                let stop_load = Arc::clone(&stop_load);
+                let max_gap_ns = Arc::clone(&max_gap_ns);
+                std::thread::spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop_load.load(Relaxed) {
+                        for k in (0..8000i64).step_by(8) {
+                            let _ = s.get(k);
+                        }
+                        s.reset_access_stats();
+                        max_gap_ns.fetch_max(last.elapsed().as_nanos() as u64, Relaxed);
+                        last = Instant::now();
+                    }
+                })
+            };
+            std::thread::sleep(Duration::from_millis(10));
+            let m = s.start_maintainer(MaintainerConfig {
+                poll_interval: poll,
+                imbalance_trigger: 1000.0, // never trigger load maintenance
+                idle_ops_threshold: 1.0,   // nothing counts as idle
+                ..Default::default()
+            });
+            std::thread::sleep(Duration::from_millis(150));
+            let stats = m.stop();
+            stop_load.store(true, Relaxed);
+            loader.join().expect("loader thread");
+            let starved = max_gap_ns.load(Relaxed) >= poll.as_nanos() as u64;
+            if stats.consolidations() == 0 {
+                assert_eq!(s.num_shards(), 8);
+                return; // the gate held under sustained load
+            }
+            assert!(
+                starved,
+                "compactor ran despite uninterrupted load: {stats:?}"
+            );
+            eprintln!("attempt {attempt}: loader starved by the host, retrying");
+        }
+        panic!("loader starved on every attempt; host too oversubscribed to test");
+    }
+
+    #[test]
+    fn new_knobs_reject_invalid_values() {
+        use crate::ConfigError;
+        for bad in [0.0, -3.0, f64::NAN] {
+            let cfg = MaintainerConfig {
+                idle_ops_threshold: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    cfg.try_validate(),
+                    Err(ConfigError::IdleOpsThresholdNotPositive(_))
+                ),
+                "idle_ops_threshold={bad} must be rejected"
+            );
+            let cfg = MaintainerConfig {
+                stale_drift: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    cfg.try_validate(),
+                    Err(ConfigError::StaleDriftNotPositive(_))
+                ),
+                "stale_drift={bad} must be rejected"
+            );
+        }
+        for bad in [0.0, 0.99, -1.0, f64::NAN] {
+            let cfg = MaintainerConfig {
+                compact_target_factor: bad,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    cfg.try_validate(),
+                    Err(ConfigError::CompactTargetFactorBelowOne(_))
+                ),
+                "compact_target_factor={bad} must be rejected"
+            );
+        }
+        assert!(MaintainerConfig::default().try_validate().is_ok());
     }
 
     #[test]

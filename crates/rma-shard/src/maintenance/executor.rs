@@ -30,6 +30,12 @@ use rma_obs::EventKind;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
+/// Default relative drift bound for the scheduler's staleness check:
+/// a plan whose live shard count or total decayed access mass has
+/// moved more than this fraction from its anchor since the last
+/// progress point has its remaining steps dropped, not executed.
+pub(crate) const DEFAULT_STALE_DRIFT: f64 = 0.5;
+
 /// The journal kind for a step.
 fn step_kind(step: &MaintenanceStep) -> EventKind {
     match step {
@@ -87,17 +93,54 @@ impl ShardedRma {
     /// re-validates against the live topology and is skipped if
     /// stale. This is the background maintainer's pacing primitive.
     pub fn execute_step(&self, plan: &mut MaintenancePlan) -> Option<StepReport> {
+        self.execute_step_with(plan, DEFAULT_STALE_DRIFT)
+    }
+
+    /// As [`execute_step`](Self::execute_step), with an explicit
+    /// staleness bound: before popping, the live shard count and
+    /// total decayed access mass are compared against the plan's
+    /// anchor (refreshed after every step), and if either drifted
+    /// more than `stale_drift` (a relative fraction) the remaining
+    /// steps are **dropped** — counted in
+    /// [`MaintenanceStats::steps_dropped`](crate::MaintenanceStats),
+    /// journaled as [`EventKind::StepDropped`], never executed — and
+    /// `None` is returned so the caller re-plans from fresh signals.
+    /// A non-finite or non-positive bound disables the check.
+    pub fn execute_step_with(
+        &self,
+        plan: &mut MaintenancePlan,
+        stale_drift: f64,
+    ) -> Option<StepReport> {
+        if plan.is_empty() {
+            return None;
+        }
+        let live_shards = self.num_shards();
+        let live_mass: u64 = self.access_masses().iter().sum();
+        if plan.is_stale(live_shards, live_mass, stale_drift) {
+            let n = plan.drop_remaining();
+            self.maint_counters().steps_dropped.fetch_add(n, Relaxed);
+            self.obs()
+                .log(EventKind::StepDropped, rma_obs::Event::NO_SHARD, 0, n);
+            return None;
+        }
         let step = plan.pop()?;
         let obs_on = self.obs().enabled();
         // Anchor the journal entry to the step's pre-execution shard
         // index (execution replaces the topology underneath it).
         let anchor = if obs_on { self.step_anchor(&step) } else { 0 };
         let t0 = if obs_on { rma_obs::now_ns() } else { 0 };
+        // Consolidation plans run behind the idle gate, so their
+        // merges are allowed the wider idle bound.
+        let merge_cap = if plan.consolidation_planned() {
+            self.consolidation_bound()
+        } else {
+            self.merge_bound()
+        };
         let migrated = {
             let _maint = self.maintenance_guard();
             match step {
                 MaintenanceStep::SplitShard { at } => self.exec_split(at),
-                MaintenanceStep::MergePair { splitter } => self.exec_merge(splitter),
+                MaintenanceStep::MergePair { splitter } => self.exec_merge(splitter, merge_cap),
                 MaintenanceStep::NudgeBoundary {
                     from,
                     to,
@@ -109,7 +152,7 @@ impl ShardedRma {
             }
         };
         let counters = self.maint_counters();
-        match migrated {
+        let report = match migrated {
             Some(moved) => {
                 counters.steps_executed.fetch_add(1, Relaxed);
                 counters.keys_migrated.fetch_add(moved, Relaxed);
@@ -121,21 +164,26 @@ impl ShardedRma {
                     self.obs().record_step(dur);
                     self.obs().log(step_kind(&step), anchor, dur, moved);
                 }
-                Some(StepReport {
+                StepReport {
                     step,
                     executed: true,
                     migrated: moved,
-                })
+                }
             }
             None => {
                 counters.steps_skipped.fetch_add(1, Relaxed);
-                Some(StepReport {
+                StepReport {
                     step,
                     executed: false,
                     migrated: 0,
-                })
+                }
             }
-        }
+        };
+        // Re-anchor at the post-step state: the step itself may have
+        // changed the shard count, and the plan's own progress must
+        // never read as drift.
+        plan.reanchor(self.num_shards(), self.access_masses().iter().sum());
+        Some(report)
     }
 
     /// Executes every remaining step back-to-back (the synchronous
@@ -237,18 +285,36 @@ impl ShardedRma {
     /// backstop when one is configured — merging past the backstop
     /// would just make the next round split the result again
     /// (a permanent merge/split oscillation).
-    fn merge_bound(&self) -> usize {
+    pub(crate) fn merge_bound(&self) -> usize {
         let cap = self.cfg.max_step_elems.saturating_mul(2);
         self.cfg.max_shard_len.map_or(cap, |m| cap.min(m))
     }
 
+    /// The wider merge bound the idle-time consolidation chain plans
+    /// and executes against. [`merge_bound`](Self::merge_bound)
+    /// protects *foreground* writers — a merge is one locked window,
+    /// so under load it must stay inside the per-step work cap — but
+    /// consolidation only runs once the op-rate gate says the index
+    /// is idle, and with the strict cap a topology whose natural
+    /// shard size exceeds `2 x max_step_elems` could never merge at
+    /// all, leaving the configured target unreachable at scale. The
+    /// idle bound therefore also admits any merge no bigger than two
+    /// average target-count shards, still clamped to the
+    /// `max_shard_len` backstop.
+    pub(crate) fn consolidation_bound(&self) -> usize {
+        let natural = (self.len() / self.cfg.num_shards.max(1)).saturating_mul(2);
+        let widened = self.merge_bound().max(natural);
+        self.cfg.max_shard_len.map_or(widened, |m| widened.min(m))
+    }
+
     /// Remove `splitter`, merging its two adjacent shards — unless it
-    /// vanished (stale) or the merged shard would exceed
-    /// [`merge_bound`](Self::merge_bound).
-    fn exec_merge(&self, splitter: Key) -> Option<u64> {
+    /// vanished (stale) or the merged shard would exceed `bound`
+    /// ([`merge_bound`](Self::merge_bound) for load-driven plans, the
+    /// wider [`consolidation_bound`](Self::consolidation_bound) for
+    /// idle consolidation).
+    fn exec_merge(&self, splitter: Key, bound: usize) -> Option<u64> {
         let topo = self.topo_handle().load_exclusive();
         let l = topo.splitters.keys().binary_search(&splitter).ok()?;
-        let bound = self.merge_bound();
         // Cheap pre-check against the lock-free lengths before paying
         // for a shell or the locks.
         let rough: usize = topo.shards[l..=l + 1]
@@ -614,6 +680,151 @@ mod tests {
             "cold ranges must consolidate: {} shards",
             s.num_shards()
         );
+    }
+
+    #[test]
+    fn rebalance_plan_pops_splits_before_merges() {
+        // Hot shard 0 plus cold pairs on the right: the plan must
+        // contain both kinds, and the priority queue must yield every
+        // split before any merge (splits live a tier above).
+        let s = ShardedRma::with_splitters(
+            small_cfg(16),
+            Splitters::new((1..16).map(|i| i * 100).collect()),
+        );
+        for k in 0..100i64 {
+            s.insert(k, k);
+            s.insert(1500 + k, k);
+        }
+        for _ in 0..50 {
+            for k in 0..100i64 {
+                let _ = s.get(k);
+            }
+        }
+        let plan = s.plan_rebalance();
+        let kinds: Vec<bool> = plan
+            .steps()
+            .map(|st| matches!(st, MaintenanceStep::SplitShard { .. }))
+            .collect();
+        assert!(kinds.iter().any(|&k| k), "hot shard must plan a split");
+        assert!(kinds.iter().any(|&k| !k), "cold pairs must plan merges");
+        let first_merge = kinds.iter().position(|&k| !k).expect("has a merge");
+        assert!(
+            kinds[first_merge..].iter().all(|&k| !k),
+            "all splits must pop before any merge: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn consolidation_targets_the_coldest_pairs_first() {
+        let mut cfg = small_cfg(8);
+        cfg.num_shards = 4;
+        let s = ShardedRma::with_splitters(cfg, Splitters::new((1..8).map(|i| i * 1000).collect()));
+        for k in 0..8000i64 {
+            s.insert(k, k);
+        }
+        s.reset_access_stats();
+        // Shards 0..4 hot, 4..8 cold: the first merges must come from
+        // the cold right half.
+        for _ in 0..20 {
+            for k in 0..4000i64 {
+                let _ = s.get(k);
+            }
+        }
+        let mut plan = s.plan_consolidation();
+        assert!(plan.consolidation_planned());
+        assert!(
+            plan.len() <= 4,
+            "must not merge past the target: {}",
+            plan.len()
+        );
+        let first = *plan.steps().next().expect("plans at least one merge");
+        let MaintenanceStep::MergePair { splitter } = first else {
+            panic!("consolidation plans only merges: {first:?}");
+        };
+        assert!(
+            splitter >= 4000,
+            "coldest pair must pop first, got splitter {splitter}"
+        );
+        let before = s.collect_all();
+        let drained = s.drain_plan(&mut plan);
+        assert!(drained.merges >= 1, "{drained:?}");
+        s.check_invariants();
+        assert_eq!(s.collect_all(), before, "merges must not lose data");
+        assert!(s.num_shards() >= 4, "never below the configured target");
+        // Synchronous chain walks all the way down to the target.
+        s.compact();
+        assert_eq!(s.num_shards(), 4);
+        assert!(s.plan_consolidation().is_empty(), "at target: no churn");
+    }
+
+    #[test]
+    fn consolidation_outruns_the_write_stall_merge_bound() {
+        // Shards so large that no pair fits the foreground per-step
+        // work cap: load-driven merges are rightly impossible, but
+        // the idle chain must still be able to reach the target via
+        // the wider consolidation bound.
+        let mut cfg = small_cfg(8);
+        cfg.num_shards = 2;
+        cfg.max_step_elems = 128; // merge_bound = 256 < any 400+400 pair
+        let s = ShardedRma::with_splitters(cfg, Splitters::new((1..8).map(|i| i * 400).collect()));
+        for k in 0..3200i64 {
+            s.insert(k, k);
+        }
+        assert!(s.merge_bound() < 800, "pairs must exceed the strict cap");
+        assert!(
+            s.consolidation_bound() >= 3200,
+            "idle bound must admit two natural target shards: {}",
+            s.consolidation_bound()
+        );
+        let before = s.collect_all();
+        let merges = s.compact();
+        assert_eq!(merges, 6, "8 shards must consolidate to the target of 2");
+        assert_eq!(s.num_shards(), 2);
+        s.check_invariants();
+        assert_eq!(s.collect_all(), before, "compaction must not lose data");
+    }
+
+    #[test]
+    fn stale_plan_tail_is_dropped_and_counted() {
+        let s = ShardedRma::with_splitters(
+            small_cfg(16),
+            Splitters::new((1..16).map(|i| i * 100).collect()),
+        );
+        for k in 0..1600i64 {
+            s.insert(k, k);
+        }
+        assert!(
+            s.plan_consolidation().is_empty(),
+            "at target: nothing to consolidate"
+        );
+        // Build a real plan against a fragmented configuration.
+        let mut cfg2 = small_cfg(16);
+        cfg2.num_shards = 2;
+        let frag =
+            ShardedRma::with_splitters(cfg2, Splitters::new((1..16).map(|i| i * 100).collect()));
+        for k in 0..1600i64 {
+            frag.insert(k, k);
+        }
+        let mut plan = frag.plan_consolidation();
+        let planned = plan.len();
+        assert!(planned > 1, "fragmented index must plan merges");
+        // Mutate the world out from under the plan.
+        let merged = frag.compact();
+        assert!(merged > 0);
+        let content = frag.collect_all();
+        // A tiny drift bound must drop the whole remaining plan.
+        let before = frag.maintenance_stats().steps_dropped;
+        assert!(frag.execute_step_with(&mut plan, 1e-6).is_none());
+        let stats = frag.maintenance_stats();
+        assert_eq!(
+            stats.steps_dropped - before,
+            planned as u64,
+            "every un-executed step must be counted as dropped"
+        );
+        assert_eq!(plan.dropped(), planned as u64);
+        assert!(plan.is_empty());
+        frag.check_invariants();
+        assert_eq!(frag.collect_all(), content, "drops must not touch data");
     }
 
     #[test]

@@ -362,6 +362,31 @@ impl ShardedRma {
         };
         (relearn, self.rebalance_shards())
     }
+
+    /// Synchronous shard-count consolidation: plans and drains
+    /// [`plan_consolidation`](Self::plan_consolidation) rounds until
+    /// the live shard count reaches the configured `num_shards`
+    /// target or no further cap-bounded merge applies, returning the
+    /// merges executed. The background maintainer runs the same chain
+    /// one idle tick at a time; this is the on-demand form (quiesce a
+    /// workload, then `compact()` before the next burst).
+    pub fn compact(&self) -> usize {
+        let mut merges = 0;
+        // Bounded rounds, same rationale as `rebalance_shards`: each
+        // round re-plans against the fresh topology.
+        for _ in 0..64 {
+            let mut plan = self.plan_consolidation();
+            if plan.is_empty() {
+                break;
+            }
+            let drained = self.drain_plan(&mut plan).merges;
+            merges += drained;
+            if drained == 0 {
+                break; // every step went stale or over-bound
+            }
+        }
+        merges
+    }
 }
 
 #[cfg(test)]

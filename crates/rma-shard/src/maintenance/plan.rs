@@ -30,7 +30,16 @@
 //!   how long any step can hold its shard locks;
 //! * [`ShardedRma::plan_maintenance`] — what the background
 //!   maintainer drains: the relearn plan when it is non-empty, the
-//!   rebalance plan otherwise.
+//!   rebalance plan otherwise;
+//! * [`ShardedRma::plan_consolidation`] — the idle-time shard-count
+//!   consolidation chain: cap-bounded merges of the coldest neighbour
+//!   pairs, steering an accreted topology back toward the configured
+//!   `num_shards` target while the op rate is low.
+//!
+//! Every planned step carries a score — predicted gain per migrated
+//! key, offset into ordering-class tiers where one step class must
+//! run before another — and the plan drains highest-score-first (see
+//! [`MaintenancePlan`]).
 //!
 //! [`SplitShard`]: MaintenanceStep::SplitShard
 //! [`MergePair`]: MaintenanceStep::MergePair
@@ -110,15 +119,71 @@ pub enum MaintenanceStep {
     },
 }
 
-/// An ordered queue of [`MaintenanceStep`]s produced by one planner
-/// call, plus the planning decision snapshot. Drained step-by-step by
-/// [`ShardedRma::execute_step`] (the background maintainer's paced
-/// mode) or all at once by [`ShardedRma::drain_plan`].
+/// One step plus the priority the planner computed for it.
+///
+/// The score is the scheduler's ordering key: `predicted gain per
+/// migrated key`, offset by an ordering-class tier (see
+/// [`TIER`]) where correctness requires one step class to run before
+/// another (e.g. the full re-learn's edge splits before its
+/// cap-bounded merges). Ties keep planner emission order.
+#[derive(Debug, Clone, Copy)]
+struct ScoredStep {
+    step: MaintenanceStep,
+    score: f64,
+    /// Emission index — the PR-4 FIFO position, kept for stable
+    /// tie-breaking and the [`MaintenancePlan::into_fifo`] hook.
+    seq: usize,
+}
+
+/// Which planner produced a plan — drives the plan-creation journal
+/// event and the flags snapshot readers see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanKind {
+    /// The split/merge rebalance pass.
+    Rebalance,
+    /// The multi-way splitter re-learn (or nudge sweep).
+    Relearn,
+    /// The durability checkpoint cadence.
+    Checkpoint,
+    /// The idle-time shard-count consolidation chain.
+    Consolidation,
+}
+
+/// Ordering-class offset: dominates any gain/cost ratio, so steps in
+/// a higher tier always execute before a lower tier regardless of
+/// their individual scores. Gain/cost only orders *within* a tier.
+const TIER: f64 = 1e12;
+
+/// A priority queue of scored [`MaintenanceStep`]s produced by one
+/// planner call, plus the planning decision snapshot. Steps pop
+/// highest score (predicted gain per migrated key) first — not FIFO —
+/// so when the maintainer's tick budget runs out before the plan
+/// does, the steps that mattered most have already run. Drained
+/// step-by-step by [`ShardedRma::execute_step`] (the background
+/// maintainer's paced mode) or all at once by
+/// [`ShardedRma::drain_plan`].
+///
+/// The plan also remembers the live topology it was planned against
+/// (shard count + total decayed access mass, re-anchored after every
+/// pop). When the world drifts past the scheduler's staleness bound
+/// between pops, the un-executed tail is **dropped** — counted in
+/// [`MaintenanceStats::steps_dropped`](crate::MaintenanceStats) and
+/// journaled as [`StepDropped`](rma_obs::EventKind::StepDropped) —
+/// and the caller re-plans from fresh signals instead of executing
+/// low-value leftovers.
 #[derive(Debug)]
 pub struct MaintenancePlan {
-    steps: VecDeque<MaintenanceStep>,
+    steps: VecDeque<ScoredStep>,
     relearn_planned: bool,
+    consolidation: bool,
     report: RelearnReport,
+    /// Staleness anchor: live shard count at the last progress point
+    /// (plan creation or the most recent pop).
+    anchor_shards: usize,
+    /// Staleness anchor: total decayed access mass likewise.
+    anchor_mass: u64,
+    /// Steps dropped un-executed because the anchor drifted stale.
+    dropped: u64,
 }
 
 impl MaintenancePlan {
@@ -132,15 +197,21 @@ impl MaintenancePlan {
         self.steps.is_empty()
     }
 
-    /// The remaining steps, front (next to execute) first.
+    /// The remaining steps, in execution order (highest score first).
     pub fn steps(&self) -> impl Iterator<Item = &MaintenanceStep> {
-        self.steps.iter()
+        self.steps.iter().map(|s| &s.step)
     }
 
     /// Whether this plan came out of the re-learn planner (as opposed
     /// to the split/merge rebalance planner).
     pub fn relearn_planned(&self) -> bool {
         self.relearn_planned
+    }
+
+    /// Whether this plan came out of the idle-time consolidation
+    /// planner ([`ShardedRma::plan_consolidation`]).
+    pub fn consolidation_planned(&self) -> bool {
+        self.consolidation
     }
 
     /// The planning decision snapshot: observed and predicted
@@ -150,8 +221,60 @@ impl MaintenancePlan {
         self.report
     }
 
+    /// Steps dropped un-executed from this plan because the topology
+    /// or access masses drifted past the staleness bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Restores planner emission order — the PR-4 FIFO drain order.
+    /// A differential-testing hook: the scored scheduler must produce
+    /// bit-for-bit the same content as the FIFO drain, and the
+    /// `sharded_differential` suite drains one plan each way to prove
+    /// it.
+    pub fn into_fifo(mut self) -> Self {
+        self.steps.make_contiguous().sort_by_key(|s| s.seq);
+        self
+    }
+
     pub(crate) fn pop(&mut self) -> Option<MaintenanceStep> {
-        self.steps.pop_front()
+        self.steps.pop_front().map(|s| s.step)
+    }
+
+    /// True when the live topology has drifted past `bound` (a
+    /// relative fraction) from this plan's anchor — the signal that
+    /// the remaining steps were computed from a world that no longer
+    /// exists. A zero-mass anchor skips the mass test (relative drift
+    /// from zero is undefined; the shard-count test still applies).
+    pub(crate) fn is_stale(&self, live_shards: usize, live_mass: u64, bound: f64) -> bool {
+        // NaN bounds land here too (fail open: nothing is stale).
+        if !bound.is_finite() || bound <= 0.0 {
+            return false;
+        }
+        let shard_drift = (live_shards as f64 - self.anchor_shards as f64).abs()
+            / self.anchor_shards.max(1) as f64;
+        let mass_drift = if self.anchor_mass == 0 {
+            0.0
+        } else {
+            (live_mass as f64 - self.anchor_mass as f64).abs() / self.anchor_mass as f64
+        };
+        shard_drift > bound || mass_drift > bound
+    }
+
+    /// Re-anchors the staleness snapshot at the current live state —
+    /// called after every pop, so a plan's own executed steps (which
+    /// legitimately change the shard count) never read as drift.
+    pub(crate) fn reanchor(&mut self, live_shards: usize, live_mass: u64) {
+        self.anchor_shards = live_shards;
+        self.anchor_mass = live_mass;
+    }
+
+    /// Drops every remaining step, returning how many were discarded.
+    pub(crate) fn drop_remaining(&mut self) -> u64 {
+        let n = self.steps.len() as u64;
+        self.steps.clear();
+        self.dropped += n;
+        n
     }
 }
 
@@ -205,7 +328,7 @@ impl ShardedRma {
         };
         let mut steps = Vec::new();
         if total == 0 {
-            return self.finish_plan(steps, false, report);
+            return self.finish_plan(steps, PlanKind::Rebalance, report);
         }
         let mean = (total / n as u64).max(1);
         for i in 0..n {
@@ -219,7 +342,13 @@ impl ShardedRma {
             let oversized = self.cfg.max_shard_len.is_some_and(|m| lens[i] > m);
             if (hot || oversized) && lens[i] >= self.cfg.min_split_len {
                 if let Some(at) = self.split_point(&topo.shards[i]) {
-                    steps.push(MaintenanceStep::SplitShard { at });
+                    // Splits shed imbalance directly: tier above the
+                    // merges, hottest-per-resident first within it.
+                    let excess = (weights[i] as f64 / mean as f64).max(0.0);
+                    steps.push((
+                        MaintenanceStep::SplitShard { at },
+                        TIER + excess / (lens[i] + 1) as f64,
+                    ));
                 }
             }
         }
@@ -241,16 +370,23 @@ impl ShardedRma {
                     // round would split the result right back.
                     && self.cfg.max_shard_len.is_none_or(|m| combined_len <= m);
                 if combined < self.cfg.merge_factor * mean as f64 && len_ok {
-                    steps.push(MaintenanceStep::MergePair {
-                        splitter: topo.splitters.keys()[i],
-                    });
+                    // Merges recover footprint, not imbalance: tier
+                    // below the splits, coldest-per-migrated-key
+                    // first within it.
+                    let slack = (self.cfg.merge_factor * mean as f64 - combined).max(0.0);
+                    steps.push((
+                        MaintenanceStep::MergePair {
+                            splitter: topo.splitters.keys()[i],
+                        },
+                        slack / (combined_len + 1) as f64,
+                    ));
                     i += 2; // pairs must not overlap within one round
                 } else {
                     i += 1;
                 }
             }
         }
-        self.finish_plan(steps, false, report)
+        self.finish_plan(steps, PlanKind::Rebalance, report)
     }
 
     /// The multi-way splitter re-learn as a plan, behind the same
@@ -270,13 +406,15 @@ impl ShardedRma {
         let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
         let total: u64 = masses.iter().sum();
         if total == 0 {
-            return self.finish_plan(Vec::new(), true, report); // no signal to learn from
+            // No signal to learn from.
+            return self.finish_plan(Vec::new(), PlanKind::Relearn, report);
         }
         let mean = total as f64 / n as f64;
         let imbalance = *masses.iter().max().expect("at least one shard") as f64 / mean;
         report.imbalance_before = imbalance;
         if imbalance < self.cfg.relearn_trigger {
-            return self.finish_plan(Vec::new(), true, report); // already balanced
+            // Already balanced.
+            return self.finish_plan(Vec::new(), PlanKind::Relearn, report);
         }
         let wb: Vec<(Key, Key, u64)> = topo
             .shards
@@ -297,9 +435,15 @@ impl ShardedRma {
             // synchronous cascade in `relearn_splitters`). Nudges are
             // bounded two-shard steps; the trigger alone throttles
             // them adequately.
-            let (steps, predicted) = self.nudge_sweep(&topo, &masses, &wb);
+            let (sweep, predicted) = self.nudge_sweep(&topo, &masses, &wb);
             report.imbalance_predicted = predicted;
-            return self.finish_plan(steps, true, report);
+            // A sweep's moves share one joint prediction, so each
+            // step gets the same per-sweep score and the stable sort
+            // keeps the left-to-right emission order the clamping
+            // logic assumed.
+            let gain = (imbalance - predicted).max(0.0);
+            let steps = sweep.into_iter().map(|s| (s, gain)).collect();
+            return self.finish_plan(steps, PlanKind::Relearn, report);
         }
 
         let candidate = Splitters::from_weighted_histogram(&wb, self.cfg.num_shards);
@@ -329,18 +473,19 @@ impl ShardedRma {
         let steps = if prefer_nudge {
             let (step, predicted) = nudge.expect("prefer_nudge implies a candidate");
             report.imbalance_predicted = predicted;
-            vec![step]
+            vec![(step, (imbalance - predicted).max(0.0))]
         } else if full_ok {
-            report.imbalance_predicted = full_pred.expect("full_ok implies a prediction");
+            let full = full_pred.expect("full_ok implies a prediction");
+            report.imbalance_predicted = full;
             let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
-            self.full_rebuild_steps(&topo, &candidate, &lens)
+            self.full_rebuild_steps(&topo, &candidate, &lens, (imbalance - full).max(0.0))
         } else {
             if let Some(p) = full_pred {
                 report.imbalance_predicted = p; // gain too small: no churn
             }
             Vec::new()
         };
-        self.finish_plan(steps, true, report)
+        self.finish_plan(steps, PlanKind::Relearn, report)
     }
 
     /// One [`CheckpointShard`](MaintenanceStep::CheckpointShard) step
@@ -356,37 +501,117 @@ impl ShardedRma {
             ..Default::default()
         };
         let steps = self.durability().map_or(Vec::new(), |sink| {
+            // Checkpoints are a cadence, not a recovery of imbalance:
+            // uniform score, partition order preserved by the stable
+            // sort.
             (0..sink.partitions())
-                .map(|partition| MaintenanceStep::CheckpointShard { partition })
+                .map(|partition| (MaintenanceStep::CheckpointShard { partition }, 0.0))
                 .collect()
         });
-        self.finish_plan(steps, false, report)
+        self.finish_plan(steps, PlanKind::Checkpoint, report)
     }
 
-    /// Records plan counters and wraps the steps.
+    /// The idle-time consolidation chain: when accreted splits have
+    /// ratcheted the live shard count above the configured target,
+    /// plan cap-bounded [`MergePair`](MaintenanceStep::MergePair)
+    /// steps over the lowest-combined-decayed-mass neighbour pairs
+    /// (non-overlapping within one round) until the count would reach
+    /// `ShardConfig::num_shards`. Each merge obeys the idle-time size
+    /// bound (`consolidation_bound`: the per-step write-stall cap
+    /// widened to two natural target-count shards — the idle gate
+    /// guarantees no foreground traffic is waiting on the locked
+    /// window); multi-round chains (the maintainer re-plans each idle
+    /// tick, or [`compact`](Self::compact) loops synchronously) walk
+    /// the count the rest of the way down. Empty at or below the
+    /// target, or when no adjacent pair fits the bound.
+    pub fn plan_consolidation(&self) -> MaintenancePlan {
+        let topo = self.topo();
+        let n = topo.shards.len();
+        let report = RelearnReport {
+            shards_before: n,
+            shards_after: n,
+            ..Default::default()
+        };
+        let target = self.cfg.num_shards.max(1);
+        if n <= target {
+            return self.finish_plan(Vec::new(), PlanKind::Consolidation, report);
+        }
+        let lens: Vec<usize> = topo.shards.iter().map(|s| s.read().len()).collect();
+        let masses: Vec<u64> = topo.shards.iter().map(|s| s.stats.total()).collect();
+        let bound = self.consolidation_bound();
+        // Mergeable neighbour pairs, coldest combined mass first (ties
+        // break leftmost for determinism).
+        let mut cands: Vec<(u64, usize)> = (0..n - 1)
+            .filter(|&i| lens[i] + lens[i + 1] <= bound)
+            .map(|i| (masses[i] + masses[i + 1], i))
+            .collect();
+        cands.sort_unstable();
+        let max_merges = n - target;
+        let mut taken = vec![false; n];
+        let mut steps = Vec::new();
+        for (mass, i) in cands {
+            if steps.len() >= max_merges {
+                break;
+            }
+            if taken[i] || taken[i + 1] {
+                continue; // pairs must not overlap within one round
+            }
+            taken[i] = true;
+            taken[i + 1] = true;
+            steps.push((
+                MaintenanceStep::MergePair {
+                    splitter: topo.splitters.keys()[i],
+                },
+                // Coldest pair pops first: least mass disturbed per
+                // merge while the index is idle anyway.
+                1.0 / (mass as f64 + 1.0),
+            ));
+        }
+        self.finish_plan(steps, PlanKind::Consolidation, report)
+    }
+
+    /// Records plan counters, journals the plan-creation event, and
+    /// wraps the scored steps into the priority queue (stable sort,
+    /// highest score first — ties keep planner emission order).
     fn finish_plan(
         &self,
-        steps: Vec<MaintenanceStep>,
-        relearn: bool,
+        steps: Vec<(MaintenanceStep, f64)>,
+        kind: PlanKind,
         report: RelearnReport,
     ) -> MaintenancePlan {
         if !steps.is_empty() {
             let c = self.maint_counters();
             c.plans.fetch_add(1, Relaxed);
             c.steps_planned.fetch_add(steps.len() as u64, Relaxed);
-            if relearn {
-                self.obs().log(
-                    rma_obs::EventKind::Relearn,
-                    rma_obs::Event::NO_SHARD,
-                    0,
-                    steps.len() as u64,
-                );
+            let journal = match kind {
+                PlanKind::Relearn => Some(rma_obs::EventKind::Relearn),
+                PlanKind::Consolidation => Some(rma_obs::EventKind::Consolidate),
+                PlanKind::Rebalance | PlanKind::Checkpoint => None,
+            };
+            if let Some(ev) = journal {
+                self.obs()
+                    .log(ev, rma_obs::Event::NO_SHARD, 0, steps.len() as u64);
             }
         }
+        let planned = !steps.is_empty();
+        let mut scored: Vec<ScoredStep> = steps
+            .into_iter()
+            .enumerate()
+            .map(|(seq, (step, score))| ScoredStep { step, score, seq })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         MaintenancePlan {
-            relearn_planned: relearn && !steps.is_empty(),
-            steps: steps.into(),
+            relearn_planned: kind == PlanKind::Relearn && planned,
+            consolidation: kind == PlanKind::Consolidation && planned,
+            steps: scored.into(),
             report,
+            anchor_shards: report.shards_before.max(1),
+            anchor_mass: self.access_masses().iter().sum(),
+            dropped: 0,
         }
     }
 
@@ -440,12 +665,16 @@ impl ShardedRma {
     /// oversized (element-heavy, access-cold) ranges — exact edge
     /// splits plus cap-bounded merges of the interior boundaries.
     /// Target ranges that already exist as shards plan nothing.
+    /// `gain` is the plan's total predicted imbalance recovery; each
+    /// rebuild is scored with its per-step share divided by its
+    /// resident-union cost.
     fn full_rebuild_steps(
         &self,
         topo: &Topology,
         target: &Splitters,
         lens: &[usize],
-    ) -> Vec<MaintenanceStep> {
+        gain: f64,
+    ) -> Vec<(MaintenanceStep, f64)> {
         let n = topo.shards.len();
         let cap = self.cfg.max_step_elems;
         let cur = topo.splitters.keys();
@@ -460,7 +689,10 @@ impl ShardedRma {
                 continue; // this range already is a shard: no churn
             }
             if union_residents(lens, j0, j1) <= cap {
-                rebuilds.push(MaintenanceStep::RebuildShard { lo, hi });
+                rebuilds.push((
+                    MaintenanceStep::RebuildShard { lo, hi },
+                    union_residents(lens, j0, j1),
+                ));
             } else {
                 // Oversized: pin the target edges with 1-shard splits;
                 // interior boundaries stay unless a cap-bounded merge
@@ -475,14 +707,21 @@ impl ShardedRma {
                 }
             }
         }
-        // Splits first (cheap, 1-shard), then range rebuilds, then
-        // the merge attempts inside oversized ranges.
-        let mut steps: Vec<MaintenanceStep> = splits
+        // Three ordering tiers — splits (cheap 1-shard edge pins that
+        // later steps depend on), then range rebuilds, then the merge
+        // attempts inside oversized ranges. Within the rebuild tier
+        // the scheduler runs biggest gain-per-migrated-key first.
+        let share = gain / rebuilds.len().max(1) as f64;
+        let mut steps: Vec<(MaintenanceStep, f64)> = splits
             .into_iter()
-            .map(|at| MaintenanceStep::SplitShard { at })
+            .map(|at| (MaintenanceStep::SplitShard { at }, 2.0 * TIER))
             .collect();
-        steps.extend(rebuilds);
-        steps.extend(merges);
+        steps.extend(
+            rebuilds
+                .into_iter()
+                .map(|(step, cost)| (step, TIER + share / (cost + 1) as f64)),
+        );
+        steps.extend(merges.into_iter().map(|step| (step, 0.0)));
         steps
     }
 

@@ -302,6 +302,43 @@ fn nudges_beat_full_rebuilds_on_drift() {
     assert!(nudge_index.engine().maintenance_stats().nudges > 0);
 }
 
+/// Anti-ratchet acceptance bar: after the jumping-band replay (which
+/// accretes hot-shard splits phase over phase), a quiesce-time
+/// [`Db::compact`] must bring the live shard count back to at most
+/// 2× the configured target without touching content.
+#[test]
+fn post_quiesce_compaction_restores_the_shard_target() {
+    let (_, db) = run_replay(
+        true,
+        RelearnStrategy::Incremental,
+        HotspotMotion::Jump,
+        SHARDS,
+        1,
+    );
+    let index = db.engine();
+    let before_content = index.collect_all();
+    let accreted = index.num_shards();
+    let merges = db.compact();
+    index.check_invariants();
+    assert!(
+        index.num_shards() <= 2 * SHARDS,
+        "compaction left {} shards (accreted {accreted}, target {SHARDS})",
+        index.num_shards()
+    );
+    assert_eq!(
+        merges,
+        accreted - index.num_shards(),
+        "every merge must retire exactly one shard"
+    );
+    assert_eq!(
+        index.collect_all(),
+        before_content,
+        "compaction must not change content"
+    );
+    // Idempotent at the target: a second pass has nothing to do.
+    assert_eq!(db.compact(), 0, "second compact must be a no-op");
+}
+
 #[test]
 fn uniform_workload_triggers_zero_topology_churn() {
     let mut base: Vec<(i64, i64)> = KeyStream::new(Pattern::Uniform, SEED).take_pairs(8192);
