@@ -29,7 +29,7 @@ pub mod clock;
 pub mod file;
 mod heap;
 #[cfg(target_os = "linux")]
-mod libc;
+pub mod libc;
 #[cfg(target_os = "linux")]
 mod mmap;
 mod vec;

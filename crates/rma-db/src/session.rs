@@ -138,11 +138,24 @@ struct TicketSlots {
     /// partial completion (a whole-batch completion never touches
     /// it).
     sparse: Vec<Option<Reply>>,
+    /// Replies already consumed through [`Ticket::take_ready`] —
+    /// once non-zero, the ticket is in streaming mode and
+    /// [`Ticket::wait`]/[`Ticket::try_wait`] may no longer be used.
+    taken: usize,
+    /// Invoked (outside the lock) every time a worker lands replies
+    /// into this ticket, and once on poisoning — the event-loop wake
+    /// hook of [`Ticket::on_progress`].
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl TicketSlots {
     fn take_replies(&mut self) -> Vec<Reply> {
         debug_assert_eq!(self.remaining, 0);
+        assert_eq!(
+            self.taken, 0,
+            "wait()/try_wait() cannot follow take_ready(): \
+             drain a streaming ticket with take_ready() until is_drained()"
+        );
         match self.whole.take() {
             Some(replies) => replies,
             None => self
@@ -163,6 +176,8 @@ impl TicketState {
                 poisoned: false,
                 whole: None,
                 sparse: Vec::new(),
+                taken: 0,
+                waker: None,
             }),
             done: Condvar::new(),
             obs,
@@ -182,40 +197,58 @@ impl TicketState {
     /// wakes waiters so they propagate the failure instead of
     /// blocking forever.
     pub(crate) fn poison(&self) {
-        let mut s = self.slots.lock().expect("ticket lock poisoned");
-        s.poisoned = true;
-        self.done.notify_all();
+        let waker = {
+            let mut s = self.slots.lock().expect("ticket lock poisoned");
+            s.poisoned = true;
+            self.done.notify_all();
+            s.waker.clone()
+        };
+        if let Some(w) = waker {
+            w();
+        }
     }
 
     /// Publishes the replies of a chunk that covered the whole batch
     /// in submission order — one move, no per-slot work.
     pub(crate) fn complete_whole(&self, replies: Vec<Reply>) {
-        let mut s = self.slots.lock().expect("ticket lock poisoned");
-        debug_assert_eq!(replies.len(), s.total, "whole chunk must cover the batch");
-        s.remaining -= replies.len();
-        s.whole = Some(replies);
-        if s.remaining == 0 {
-            self.record_wait();
-            self.done.notify_all();
+        let waker = {
+            let mut s = self.slots.lock().expect("ticket lock poisoned");
+            debug_assert_eq!(replies.len(), s.total, "whole chunk must cover the batch");
+            s.remaining -= replies.len();
+            s.whole = Some(replies);
+            if s.remaining == 0 {
+                self.record_wait();
+                self.done.notify_all();
+            }
+            s.waker.clone()
+        };
+        if let Some(w) = waker {
+            w();
         }
     }
 
     /// Fills a worker's chunk of slots in one lock acquisition and
     /// wakes waiters when the batch is complete.
     pub(crate) fn complete(&self, filled: Vec<(u32, Reply)>) {
-        let mut s = self.slots.lock().expect("ticket lock poisoned");
-        if s.sparse.is_empty() {
-            let n = s.total;
-            s.sparse = (0..n).map(|_| None).collect();
-        }
-        s.remaining -= filled.len();
-        for (slot, reply) in filled {
-            let prev = s.sparse[slot as usize].replace(reply);
-            debug_assert!(prev.is_none(), "slot {slot} completed twice");
-        }
-        if s.remaining == 0 {
-            self.record_wait();
-            self.done.notify_all();
+        let waker = {
+            let mut s = self.slots.lock().expect("ticket lock poisoned");
+            if s.sparse.is_empty() {
+                let n = s.total;
+                s.sparse = (0..n).map(|_| None).collect();
+            }
+            s.remaining -= filled.len();
+            for (slot, reply) in filled {
+                let prev = s.sparse[slot as usize].replace(reply);
+                debug_assert!(prev.is_none(), "slot {slot} completed twice");
+            }
+            if s.remaining == 0 {
+                self.record_wait();
+                self.done.notify_all();
+            }
+            s.waker.clone()
+        };
+        if let Some(w) = waker {
+            w();
         }
     }
 }
@@ -327,6 +360,79 @@ impl Ticket {
             }
         }
         Err(self)
+    }
+
+    // --------------------------------------- partial completions --
+    // The streaming surface used by event-driven consumers (the
+    // `rma-net` server): drain replies as workers land them instead
+    // of blocking for the whole batch. A ticket that has been
+    // partially drained is committed to this mode — `wait`/`try_wait`
+    // panic after the first `take_ready` — so the two collection
+    // styles cannot be mixed by accident.
+
+    /// Removes and returns every reply that has landed since the last
+    /// call, as `(slot, reply)` pairs (`slot` is the op's position in
+    /// the submitted batch). Non-blocking; returns an empty vector
+    /// when nothing new completed. Never panics on a poisoned ticket
+    /// — event loops must keep running — check
+    /// [`is_poisoned`](Self::is_poisoned) to detect that case.
+    pub fn take_ready(&mut self) -> Vec<(u32, Reply)> {
+        let mut s = self.state.slots.lock().expect("ticket lock poisoned");
+        if let Some(replies) = s.whole.take() {
+            s.taken += replies.len();
+            return replies
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (i as u32, r))
+                .collect();
+        }
+        let mut out = Vec::new();
+        for (i, slot) in s.sparse.iter_mut().enumerate() {
+            if let Some(r) = slot.take() {
+                out.push((i as u32, r));
+            }
+        }
+        s.taken += out.len();
+        out
+    }
+
+    /// True once every reply has been consumed through
+    /// [`take_ready`](Self::take_ready) (or the batch was empty).
+    pub fn is_drained(&self) -> bool {
+        let s = self.state.slots.lock().expect("ticket lock poisoned");
+        s.taken == s.total
+    }
+
+    /// True when a router worker panicked executing this batch: the
+    /// missing replies will never arrive. The blocking collectors
+    /// ([`wait`](Self::wait)/[`try_wait`](Self::try_wait)) panic on
+    /// this state; streaming consumers poll this instead.
+    pub fn is_poisoned(&self) -> bool {
+        self.state
+            .slots
+            .lock()
+            .expect("ticket lock poisoned")
+            .poisoned
+    }
+
+    /// Registers `f` to be invoked every time a worker lands replies
+    /// into this ticket (including the completion that finishes it,
+    /// and poisoning). The hook lets an event loop park on its own
+    /// wake primitive — an eventfd, a condvar — instead of polling
+    /// tickets. If progress already happened before registration, `f`
+    /// is invoked once immediately, so a completion can never slip
+    /// between submit and registration unobserved. Replaces any
+    /// previously registered hook.
+    pub fn on_progress(&self, f: impl Fn() + Send + Sync + 'static) {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let fire_now = {
+            let mut s = self.state.slots.lock().expect("ticket lock poisoned");
+            s.waker = Some(Arc::clone(&f));
+            s.poisoned || s.remaining < s.total
+        };
+        if fire_now {
+            f();
+        }
     }
 }
 
@@ -478,5 +584,69 @@ mod tests {
         let t = pending_ticket(2);
         t.state.poison();
         let _ = t.wait_timeout(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn take_ready_streams_partial_completions_in_any_order() {
+        let mut t = pending_ticket(3);
+        assert_eq!(t.take_ready(), vec![], "nothing landed yet");
+        assert!(!t.is_drained());
+        t.state.complete(vec![(2, Reply::Inserted)]);
+        assert_eq!(t.take_ready(), vec![(2, Reply::Inserted)]);
+        assert_eq!(t.take_ready(), vec![], "already consumed");
+        t.state
+            .complete(vec![(0, Reply::Found(None)), (1, Reply::Removed(Some(9)))]);
+        assert_eq!(
+            t.take_ready(),
+            vec![(0, Reply::Found(None)), (1, Reply::Removed(Some(9)))]
+        );
+        assert!(t.is_drained());
+    }
+
+    #[test]
+    fn take_ready_consumes_a_whole_completion_in_slot_order() {
+        let mut t = pending_ticket(2);
+        t.state
+            .complete_whole(vec![Reply::Inserted, Reply::Found(Some(5))]);
+        assert_eq!(
+            t.take_ready(),
+            vec![(0, Reply::Inserted), (1, Reply::Found(Some(5)))]
+        );
+        assert!(t.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot follow take_ready")]
+    fn wait_after_take_ready_is_a_contract_violation() {
+        let mut t = pending_ticket(2);
+        t.state.complete(vec![(0, Reply::Inserted)]);
+        let _ = t.take_ready();
+        t.state.complete(vec![(1, Reply::Inserted)]);
+        let _ = t.wait();
+    }
+
+    #[test]
+    fn take_ready_reports_poison_without_panicking() {
+        let mut t = pending_ticket(2);
+        t.state.poison();
+        assert!(t.is_poisoned());
+        assert_eq!(t.take_ready(), vec![], "no replies, but no panic either");
+    }
+
+    #[test]
+    fn on_progress_fires_per_completion_and_catches_up_late_registration() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let t = pending_ticket(2);
+        // Progress happened before registration: the hook fires once
+        // immediately so the wake cannot be lost.
+        t.state.complete(vec![(0, Reply::Inserted)]);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&fired);
+        t.on_progress(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "catch-up fire");
+        t.state.complete(vec![(1, Reply::Inserted)]);
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "per-completion fire");
     }
 }

@@ -1,0 +1,37 @@
+//! Network front-end for the sharded RMA database: a binary wire
+//! protocol and a non-blocking TCP server that put the session
+//! router behind a socket.
+//!
+//! The stack, bottom-up:
+//!
+//! * [`sys`] — safe wrappers over the raw `socket(2)`/`epoll(7)`/
+//!   `eventfd(2)` FFI surface declared in `rewiring::libc` (the
+//!   offline build forbids registry crates, so the syscall layer is
+//!   hand-rolled, like the `mmap` layer before it).
+//! * [`wire`] — length-prefixed, CRC-32-checked frames carrying
+//!   batches of typed [`rma_db::Op`]s and streamed
+//!   [`rma_db::Reply`]s; see the module docs for the frame layout.
+//! * [`NetServer`] — a single-threaded epoll event loop that decodes
+//!   frames into [`rma_db::Session::submit`], merges tiny requests
+//!   from many connections into one router pass (wire-side group
+//!   commit), pauses reading from connections that exceed their
+//!   in-flight or write-buffer caps (backpressure), and streams big
+//!   scans in bounded chunks.
+//! * [`WireClient`] — a small blocking client used by the examples,
+//!   tests and the `fig23_network` benchmark driver.
+//!
+//! Connection and protocol activity is counted in [`NetStats`]
+//! (rendered Prometheus-style next to the engine's metrics) and
+//! journaled as `conn_open` / `conn_close` / `proto_error` events in
+//! the engine's maintenance journal.
+
+pub mod client;
+pub mod server;
+pub mod stats;
+pub mod sys;
+pub mod wire;
+
+pub use client::{Completed, WireClient};
+pub use server::{NetConfig, NetServer};
+pub use stats::{NetSnapshot, NetStats};
+pub use wire::{ErrorCode, WireError};

@@ -51,6 +51,16 @@ pub enum EventKind {
     /// topology drifted past the scheduler's staleness bound between
     /// planning and execution, so the tail was discarded un-executed.
     StepDropped = 12,
+    /// The network front-end accepted a client connection (`shard`
+    /// carries the connection slot, `keys` the live connection count).
+    ConnOpen = 13,
+    /// A network connection closed (`dur_ns` its lifetime, `keys` the
+    /// frames it was served).
+    ConnClose = 14,
+    /// A client sent a malformed wire frame (truncated, oversized,
+    /// bad opcode or bad checksum); the offending connection was
+    /// closed (`keys` carries the wire error code).
+    ProtoError = 15,
 }
 
 impl EventKind {
@@ -69,6 +79,9 @@ impl EventKind {
             10 => EventKind::DegradedMode,
             11 => EventKind::Consolidate,
             12 => EventKind::StepDropped,
+            13 => EventKind::ConnOpen,
+            14 => EventKind::ConnClose,
+            15 => EventKind::ProtoError,
             _ => return None,
         })
     }
@@ -89,6 +102,9 @@ impl EventKind {
             EventKind::DegradedMode => "degraded_mode",
             EventKind::Consolidate => "consolidate",
             EventKind::StepDropped => "step_dropped",
+            EventKind::ConnOpen => "conn_open",
+            EventKind::ConnClose => "conn_close",
+            EventKind::ProtoError => "proto_error",
         }
     }
 }

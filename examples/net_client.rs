@@ -1,0 +1,80 @@
+//! A minimal wire-protocol client: connect to a running
+//! `sharded_server --listen <port>` (or any [`NetServer`]) and speak
+//! a few typed ops over one connection.
+//!
+//! ```text
+//! cargo run --release --example sharded_server -- --listen 7171 &
+//! cargo run --release --example net_client -- 7171
+//! ```
+//!
+//! [`NetServer`]: rma_repro::net::NetServer
+
+use rma_repro::db::{Op, Reply};
+use rma_repro::net::WireClient;
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "7171".into())
+        .parse()
+        .expect("usage: net_client [port]");
+    let mut client = WireClient::connect(port).unwrap_or_else(|e| {
+        panic!("connect 127.0.0.1:{port}: {e} (is sharded_server --listen {port} running?)")
+    });
+    println!("connected to 127.0.0.1:{port}");
+
+    // One batched request: writes and reads resolve in wire order.
+    let replies = client
+        .call(&[
+            Op::Insert(-3, 30),
+            Op::Insert(-1, 10),
+            Op::Insert(-2, 20),
+            Op::Get(-2),
+            Op::SumRange {
+                start: -3,
+                count: 3,
+            },
+            Op::Remove(-1),
+        ])
+        .expect("batched call");
+    println!("batch of 6 ops:");
+    for (op, reply) in ["insert", "insert", "insert", "get", "sum", "remove"]
+        .iter()
+        .zip(&replies)
+    {
+        println!("  {op:>6} -> {reply:?}");
+    }
+    assert_eq!(replies[3], Reply::Found(Some(20)));
+
+    // A scan bigger than the server's chunk size streams back in
+    // several frames; the client reassembles them transparently.
+    let corr = client
+        .send(&[Op::Scan {
+            start: i64::MIN,
+            count: 5_000,
+        }])
+        .expect("send scan");
+    let done = client.recv().expect("recv scan");
+    assert_eq!(done.corr, corr);
+    if let Reply::Entries(es) = &done.replies[0] {
+        println!(
+            "scan of up to 5000 entries: got {} across {} reply frame(s); first={:?}",
+            es.len(),
+            done.frames,
+            es.first()
+        );
+    }
+
+    // Pipelining: several requests in flight on one connection.
+    for k in 0..8i64 {
+        client.send(&[Op::Get(k)]).expect("pipelined send");
+    }
+    let mut found = 0;
+    while client.in_flight() > 0 {
+        let done = client.recv().expect("pipelined recv");
+        if matches!(done.replies[0], Reply::Found(Some(_))) {
+            found += 1;
+        }
+    }
+    println!("pipelined 8 gets, {found} hit");
+}

@@ -1,29 +1,38 @@
-//! A multi-threaded mixed OLTP/scan "server" on the `rma-db` facade.
+//! A multi-threaded mixed OLTP/scan server, served **over the wire**.
 //!
 //! Simulates the deployment shape the stack is built for, consumed
 //! the way a real deployment would: one [`Db`] opened through the
 //! validating builder with background maintenance owned by the
-//! handle. OLTP writers stream skewed inserts and deletes through
-//! **pipelined sessions** (batched submits, several tickets in
-//! flight — the request-router path), analytic readers run range
-//! sums through the direct-call path (lock-free on the happy path),
-//! an ingest thread applies partitioned batches, and the background
-//! maintainer re-learns splitters / splits hot shards / merges cold
-//! ones underneath all of them. While the load runs, a reporter
-//! thread prints a periodic [`Db::metrics`] report — per-op-type
-//! latency quantiles straight from the built-in histograms — and at
-//! the end the full consolidated snapshot renders itself (the
-//! `Display` impls; no hand-formatted stats), followed by the tail
-//! of the maintenance event journal and a taste of the
-//! Prometheus-style text exposition a scrape endpoint would serve.
+//! handle, fronted by the [`NetServer`] epoll event loop on a
+//! loopback TCP port. OLTP writers stream skewed inserts and deletes
+//! through **pipelined wire connections** (length-prefixed frames,
+//! several correlation ids in flight — the server merges tiny
+//! requests from many connections into one router pass), analytic
+//! readers run range sums and big chunk-streamed scans through
+//! connections of their own, an ingest thread applies partitioned
+//! batches through the in-process path (the one op class with no
+//! wire form), and the background maintainer re-learns splitters /
+//! splits hot shards / merges cold ones underneath all of them.
+//! While the load runs, a reporter thread prints a periodic
+//! [`Db::metrics`] report — per-op-type latency quantiles straight
+//! from the built-in histograms, plus the network front-end's own
+//! counters — and at the end the full consolidated snapshot renders
+//! itself (the `Display` impls; no hand-formatted stats), followed
+//! by the Prometheus-style text exposition a scrape endpoint would
+//! serve.
 //!
 //! Run with: `cargo run --release --example sharded_server`
+//!
+//! Pass `--listen <port>` to keep the server up after the load for
+//! external clients (see `examples/net_client.rs`):
+//! `cargo run --release --example sharded_server -- --listen 7171`
 
-use rma_repro::db::{Db, Op, Reply, Ticket, OP_LATENCY_NAMES};
+use rma_repro::db::{Db, Op, Reply, OP_LATENCY_NAMES};
+use rma_repro::net::{NetConfig, NetServer, WireClient};
 use rma_repro::shard::MaintainerConfig;
 use rma_repro::workloads::{BatchStream, KeyStream, Pattern, SplitMix64};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const PRELOAD: usize = 200_000;
@@ -33,7 +42,7 @@ const OPS_PER_WRITER: usize = 100_000;
 const SCANS_PER_READER: usize = 2_000;
 const BATCHES: usize = 20;
 const BATCH_LEN: usize = 5_000;
-/// Ops per pipelined submit; a writer keeps a few tickets in flight.
+/// Ops per request frame; a writer keeps a few frames in flight.
 const SUBMIT: usize = 512;
 const PIPELINE_DEPTH: usize = 4;
 
@@ -45,19 +54,37 @@ fn count_removed(replies: &[Reply]) -> u64 {
 }
 
 fn main() {
+    let listen_port: Option<u16> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--listen")
+            .map(|i| args[i + 1].parse().expect("--listen takes a port number"))
+    };
+
     // Bootstrap from a bulk load; splitters are learned from the
     // batch quantiles so the shards start balanced. The builder
     // validates everything up front and the handle owns the
     // background maintainer — no separate handles to juggle.
     let mut base = KeyStream::new(Pattern::Uniform, 7).take_pairs(PRELOAD);
     base.sort_unstable();
-    let db = Db::builder()
-        .shards(16)
-        .maintenance(MaintainerConfig::default())
-        .build_bulk(&base)
-        .expect("static server config is valid");
+    let db = Arc::new(
+        Db::builder()
+            .shards(16)
+            .maintenance(MaintainerConfig::default())
+            .build_bulk(&base)
+            .expect("static server config is valid"),
+    );
+    let srv = NetServer::spawn(
+        Arc::clone(&db),
+        NetConfig {
+            port: listen_port.unwrap_or(0),
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
     println!(
-        "server up: {} elements across {} shards, {} router workers",
+        "server up on 127.0.0.1:{}: {} elements across {} shards, {} router workers",
+        srv.port(),
         db.len(),
         db.stats().engine.num_shards,
         db.stats().router.workers
@@ -67,14 +94,16 @@ fn main() {
     let scanned = AtomicU64::new(0);
     let removed = AtomicU64::new(0);
     let started = Instant::now();
+    let port = srv.port();
 
     std::thread::scope(|sc| {
         // OLTP writers: skewed inserts (front of the key space is
-        // hot) interleaved with exact-key deletes, pipelined through
-        // a session each — the serving shape of the request router.
+        // hot) interleaved with exact-key deletes, each pipelining
+        // request frames over its own wire connection — the serving
+        // shape of the network front-end.
         let mut worker_handles = Vec::new();
         for w in 0..WRITERS {
-            let (db, removed) = (&db, &removed);
+            let removed = &removed;
             worker_handles.push(sc.spawn(move || {
                 let mut stream = KeyStream::new(
                     Pattern::Zipf {
@@ -83,8 +112,7 @@ fn main() {
                     },
                     100 + w as u64,
                 );
-                let mut session = db.session();
-                let mut in_flight: VecDeque<Ticket> = VecDeque::new();
+                let mut client = WireClient::connect(port).expect("writer connect");
                 let mut ops = Vec::with_capacity(SUBMIT);
                 for start in (0..OPS_PER_WRITER).step_by(SUBMIT) {
                     ops.clear();
@@ -96,36 +124,54 @@ fn main() {
                             Op::Insert(k, v)
                         });
                     }
-                    in_flight.push_back(session.submit(&ops));
-                    if in_flight.len() >= PIPELINE_DEPTH {
-                        let replies = in_flight.pop_front().expect("non-empty").wait();
-                        removed.fetch_add(count_removed(&replies), Relaxed);
+                    client.send(&ops).expect("writer send");
+                    while client.in_flight() >= PIPELINE_DEPTH {
+                        let done = client.recv().expect("writer recv");
+                        removed.fetch_add(count_removed(&done.replies), Relaxed);
                     }
                 }
-                for ticket in in_flight {
-                    removed.fetch_add(count_removed(&ticket.wait()), Relaxed);
+                while client.in_flight() > 0 {
+                    let done = client.recv().expect("writer drain");
+                    removed.fetch_add(count_removed(&done.replies), Relaxed);
                 }
             }));
         }
 
-        // Analytic readers: random-start range sums on the
-        // direct-call path (lock-free happy path).
+        // Analytic readers: random-start range sums over the wire,
+        // with a big chunk-streamed scan every few hundred calls
+        // (the server clamps it and streams continuations).
         for r in 0..READERS {
-            let (db, stop, scanned) = (&db, &stop, &scanned);
+            let (stop, scanned) = (&stop, &scanned);
             sc.spawn(move || {
                 let mut rng = SplitMix64::new(900 + r as u64);
+                let mut client = WireClient::connect(port).expect("reader connect");
                 let mut done = 0usize;
                 while !stop.load(Relaxed) && done < SCANS_PER_READER {
                     let start = (rng.next_u64() >> 2) as i64;
-                    let (n, _) = db.sum_range(start, 1_000);
-                    scanned.fetch_add(n as u64, Relaxed);
+                    let replies = if done % 500 == 250 {
+                        client.call(&[Op::Scan {
+                            start,
+                            count: 5_000,
+                        }])
+                    } else {
+                        client.call(&[Op::SumRange {
+                            start,
+                            count: 1_000,
+                        }])
+                    };
+                    match &replies.expect("reader call")[0] {
+                        Reply::Sum { visited, .. } => scanned.fetch_add(*visited as u64, Relaxed),
+                        Reply::Entries(es) => scanned.fetch_add(es.len() as u64, Relaxed),
+                        other => panic!("unexpected reply {other:?}"),
+                    };
                     done += 1;
                 }
             });
         }
 
         // Bulk ingest: sorted uniform batches through the parallel
-        // partitioned-batch path.
+        // partitioned-batch path (in-process; batches have no wire
+        // op — they are the bulk-load interface, not the OLTP one).
         {
             let db = &db;
             worker_handles.push(sc.spawn(move || {
@@ -138,17 +184,17 @@ fn main() {
         }
 
         // Periodic observability report: what a metrics scraper would
-        // see, sampled once per second from `Db::metrics()` — insert
-        // service latency from the router workers' histograms, batch
-        // wall time from the tickets, and the maintainer's progress.
+        // see, sampled once per second from `Db::metrics()` plus the
+        // network front-end's counters.
         {
-            let (db, stop) = (&db, &stop);
+            let (db, stop, srv) = (&db, &stop, &srv);
             sc.spawn(move || loop {
                 std::thread::sleep(Duration::from_millis(1000));
                 if stop.load(Relaxed) {
                     break;
                 }
                 let m = db.metrics();
+                let n = srv.stats();
                 let ins_idx = OP_LATENCY_NAMES
                     .iter()
                     .position(|&n| n == "insert")
@@ -156,13 +202,15 @@ fn main() {
                 let ins = &m.op_latency[ins_idx];
                 println!(
                     "[report] {} ops executed; insert p50/p99 {:.1}/{:.1} µs; \
-                     batch wait p99 {:.1} µs; queue depth p99 {}; \
-                     {} shards, {} maintenance steps",
+                     net: {} conns, {} frames in, {} merged submits, \
+                     frame p99 {:.1} µs; {} shards, {} maintenance steps",
                     m.db.router.ops_executed,
                     ins.p50() as f64 / 1e3,
                     ins.p99() as f64 / 1e3,
-                    m.ticket_wait.p99() as f64 / 1e3,
-                    m.queue_depth.p99(),
+                    n.connections,
+                    n.frames_in,
+                    n.merged_submits,
+                    n.frame_service_ns.p99() as f64 / 1e3,
                     m.db.engine.num_shards,
                     m.db.engine.maintenance.steps_executed,
                 );
@@ -195,18 +243,29 @@ fn main() {
         removed.load(Relaxed)
     );
     // The whole story in one read: counters, per-op latency
-    // distributions, batch wall times, maintenance step timing and
-    // the journal tail — rendered by the snapshot itself.
+    // distributions, batch wall times, maintenance step timing, the
+    // journal tail, and the wire-level counters — all rendered by the
+    // snapshots themselves.
     let metrics = db.metrics();
     print!("{metrics}");
+    println!("{}", srv.stats());
 
-    // The machine-readable face of the same snapshot, as a scrape
-    // endpoint would serve it (one summary family per op type).
+    // The machine-readable face of the same snapshots, as a scrape
+    // endpoint would serve them.
     println!("\nexposition sample (render_text):");
     let text = metrics.render_text();
     for line in text
         .lines()
         .filter(|l| l.contains("op=\"insert\"") || l.starts_with("rma_ops_executed"))
+    {
+        println!("  {line}");
+    }
+    for line in srv
+        .stats()
+        .render_text()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(6)
     {
         println!("  {line}");
     }
@@ -222,5 +281,15 @@ fn main() {
             st.reads,
             st.writes
         );
+    }
+
+    if listen_port.is_some() {
+        println!(
+            "\nlistening on 127.0.0.1:{port} — try `cargo run --example net_client -- {port}` \
+             (ctrl-c to stop)"
+        );
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
     }
 }

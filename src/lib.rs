@@ -9,6 +9,14 @@
 //!   lifecycle, pipelined [`Session`](rma_db::Session)s routing
 //!   typed operations through channel-fed shard-affine worker
 //!   threads, and one consolidated stats snapshot;
+//! * [`net`] — the **network front-end**: a length-prefixed,
+//!   CRC-checked binary wire protocol carrying batches of typed ops,
+//!   served by a non-blocking epoll TCP listener
+//!   ([`NetServer`](rma_net::NetServer)) that merges tiny requests
+//!   from many connections into one router pass, applies
+//!   per-connection backpressure, and streams big scans in bounded
+//!   chunks — plus the blocking [`WireClient`](rma_net::WireClient)
+//!   the examples and benchmarks drive it with;
 //! * [`rma`] — the **Rewired Memory Array** (the paper's
 //!   contribution): a sparse array with clustered fixed-size segments,
 //!   a static index, memory-rewired rebalances and adaptive
@@ -105,6 +113,7 @@ pub use pma_baseline as pma;
 pub use rewiring;
 pub use rma_core as rma;
 pub use rma_db as db;
+pub use rma_net as net;
 pub use rma_obs as obs;
 pub use rma_shard as shard;
 pub use rma_wal as wal;

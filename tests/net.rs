@@ -1,0 +1,446 @@
+//! Loopback integration tests for the network front-end: full
+//! round-trips of every op type through the wire protocol, pipelined
+//! requests, the malformed-frame sweep (a hostile or corrupted
+//! connection is closed — and *only* that connection), chunked scan
+//! streaming with bounded per-connection reply buffering, isolation
+//! of a blocked reader from other connections, and the degraded
+//! read-only mode surfacing as a typed protocol refusal instead of a
+//! dropped connection.
+
+use rma_repro::db::{CommitPolicy, Db, DurabilityConfig, FaultInjector, FaultMode, Op, Reply};
+use rma_repro::net::{wire, NetConfig, NetServer, WireClient};
+use rma_repro::rewiring::libc;
+use rma_repro::rma::{RewiringMode, RmaConfig};
+use rma_repro::shard::ShardConfig;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn preloaded(n: i64, value: impl Fn(i64) -> i64) -> Arc<Db> {
+    let db = Db::builder().shards(4).build().expect("static config");
+    let mut s = db.session();
+    let ops: Vec<Op> = (0..n).map(|k| Op::Insert(k, value(k))).collect();
+    for chunk in ops.chunks(1024) {
+        s.submit(chunk).wait();
+    }
+    drop(s);
+    Arc::new(db)
+}
+
+fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !f() {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn wire_round_trip_all_op_types() {
+    let db = preloaded(1000, |k| k * 10);
+    let srv = NetServer::spawn(Arc::clone(&db), NetConfig::default()).expect("spawn");
+    let mut c = WireClient::connect(srv.port()).expect("connect");
+    let replies = c
+        .call(&[
+            Op::Get(5),
+            Op::Get(-1),
+            Op::Insert(5000, 1),
+            Op::Remove(7),
+            Op::Remove(7),
+            Op::SumRange {
+                start: 0,
+                count: 10,
+            },
+            Op::FirstGe(998),
+            Op::Scan {
+                start: 10,
+                count: 3,
+            },
+        ])
+        .expect("call");
+    assert_eq!(replies[0], Reply::Found(Some(50)));
+    assert_eq!(replies[1], Reply::Found(None));
+    assert_eq!(replies[2], Reply::Inserted);
+    assert_eq!(replies[3], Reply::Removed(Some(70)));
+    assert_eq!(replies[4], Reply::Removed(None));
+    // Keys 0..=6,8,9,10 (7 was just removed), values k*10.
+    assert_eq!(
+        replies[5],
+        Reply::Sum {
+            visited: 10,
+            sum: (1 + 2 + 3 + 4 + 5 + 6 + 8 + 9 + 10) * 10,
+        }
+    );
+    assert_eq!(replies[6], Reply::Entry(Some((998, 9980))));
+    assert_eq!(
+        replies[7],
+        Reply::Entries(vec![(10, 100), (11, 110), (12, 120)])
+    );
+    let stats = srv.stats();
+    assert_eq!(stats.accepted, 1);
+    assert_eq!(stats.connections, 1);
+    assert!(stats.frames_in >= 1 && stats.frames_out >= 1);
+    assert_eq!(stats.decode_errors, 0);
+    drop(c);
+    wait_until("connection close", || srv.stats().closed == 1);
+    assert_eq!(srv.stats().connections, 0);
+}
+
+#[test]
+fn pipelined_requests_all_complete() {
+    let db = preloaded(1024, |k| k);
+    let srv = NetServer::spawn(Arc::clone(&db), NetConfig::default()).expect("spawn");
+    let mut c = WireClient::connect(srv.port()).expect("connect");
+    // Twice the per-connection in-flight cap: the server must pause
+    // reads at the cap and drain the rest as replies flow.
+    let mut expect = Vec::new();
+    for i in 0..16i64 {
+        let corr = c.send(&[Op::Get(i), Op::Get(i + 100)]).expect("send");
+        expect.push((corr, i));
+    }
+    for _ in 0..16 {
+        let done = c.recv().expect("recv");
+        let (_, i) = *expect
+            .iter()
+            .find(|(corr, _)| *corr == done.corr)
+            .expect("known corr");
+        assert_eq!(done.replies[0], Reply::Found(Some(i)));
+        assert_eq!(done.replies[1], Reply::Found(Some(i + 100)));
+    }
+    assert_eq!(c.in_flight(), 0);
+    assert_eq!(srv.stats().frames_in, 16);
+}
+
+/// Frames `payload` with a correct length prefix and CRC.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(&wire::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads whole frames off a raw stream until one parses, returning
+/// its payload.
+fn read_payload(stream: &mut TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        if let wire::Frame::Payload { payload, .. } = wire::split_frame(&buf).expect("clean frame")
+        {
+            return payload.to_vec();
+        }
+        let n = stream.read(&mut tmp).expect("read");
+        assert_ne!(n, 0, "server closed before answering");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+}
+
+#[test]
+fn malformed_frames_close_only_the_offender() {
+    let db = preloaded(100, |k| k);
+    let srv = NetServer::spawn(Arc::clone(&db), NetConfig::default()).expect("spawn");
+    let mut healthy = WireClient::connect(srv.port()).expect("connect");
+    assert_eq!(
+        healthy.call(&[Op::Get(1)]).expect("healthy call")[0],
+        Reply::Found(Some(1))
+    );
+
+    let mut valid = Vec::new();
+    wire::encode_request(&mut valid, 1, &[Op::Get(2)]);
+    let mut bad_crc = valid.clone();
+    *bad_crc.last_mut().expect("non-empty") ^= 0x40;
+
+    let oversized = {
+        let mut b = ((wire::MAX_FRAME_PAYLOAD + 1) as u32)
+            .to_le_bytes()
+            .to_vec();
+        b.extend_from_slice(&[0u8; 32]);
+        b
+    };
+    let bad_opcode = frame(&[99, 0, 0, 0, 0, 0, 0]);
+    let bad_op_tag = frame(&[wire::OPCODE_REQUEST, 1, 0, 0, 0, 1, 0, 200]);
+    let truncated_interior = frame(&[wire::OPCODE_REQUEST, 1, 0, 0, 0, 2, 0]);
+    let trailing = {
+        let mut payload = valid[8..].to_vec();
+        payload.push(0);
+        frame(&payload)
+    };
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("oversized length prefix", oversized),
+        ("bad crc", bad_crc),
+        ("bad opcode", bad_opcode),
+        ("bad op tag", bad_op_tag),
+        ("truncated interior", truncated_interior),
+        ("trailing bytes", trailing),
+    ];
+    let n_cases = cases.len() as u64;
+
+    for (name, bytes) in cases {
+        let mut s = TcpStream::connect(("127.0.0.1", srv.port())).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // Prove the connection serves before the poison frame.
+        let mut req = Vec::new();
+        wire::encode_request(&mut req, 0, &[Op::Get(3)]);
+        s.write_all(&req).expect("valid request");
+        let resp = wire::decode_response(&read_payload(&mut s)).expect("decodes");
+        assert_eq!(resp.items, vec![(0, Reply::Found(Some(3)))]);
+        // Poison it. The server must close this connection (EOF), not
+        // panic, not answer.
+        s.write_all(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: send poison: {e}"));
+        let mut sink = [0u8; 4096];
+        loop {
+            match s.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("{name}: expected EOF, got error {e}"),
+            }
+        }
+    }
+
+    // The bystander connection never noticed.
+    assert_eq!(
+        healthy.call(&[Op::Get(4)]).expect("bystander survives")[0],
+        Reply::Found(Some(4))
+    );
+    let stats = srv.stats();
+    assert_eq!(stats.decode_errors, n_cases);
+    wait_until("offender closes", || srv.stats().closed == n_cases);
+    assert_eq!(srv.stats().connections, 1); // the healthy one
+
+    // All three connection-lifecycle event kinds reached the journal.
+    let journal = db.metrics().journal;
+    let count = |k: &str| journal.iter().filter(|e| e.kind.name() == k).count();
+    assert!(count("conn_open") as u64 > n_cases);
+    assert_eq!(count("conn_close") as u64, n_cases);
+    assert_eq!(count("proto_error") as u64, n_cases);
+}
+
+#[test]
+fn big_scan_streams_in_bounded_chunks() {
+    let db = preloaded(5000, |k| k);
+    let cfg = NetConfig {
+        scan_chunk: 256,
+        write_buf_cap: 4096,
+        ..NetConfig::default()
+    };
+    let srv = NetServer::spawn(Arc::clone(&db), cfg).expect("spawn");
+    let mut c = WireClient::connect(srv.port()).expect("connect");
+    let corr = c
+        .send(&[Op::Scan {
+            start: 0,
+            count: 5000,
+        }])
+        .expect("send");
+    let done = c.recv().expect("recv");
+    assert_eq!(done.corr, corr);
+    assert!(
+        done.frames >= 2,
+        "a scan over {} entries with chunk 256 must stream in several \
+         frames, got {}",
+        5000,
+        done.frames
+    );
+    let expect: Vec<(i64, i64)> = (0..5000).map(|k| (k, k)).collect();
+    assert_eq!(done.replies, vec![Reply::Entries(expect)]);
+    let stats = srv.stats();
+    assert!(stats.scan_chunks >= 1, "continuations were submitted");
+    // Peak reply buffering stays within the cap plus one frame.
+    assert!(
+        stats.peak_conn_write_buf <= 4096 + 8192,
+        "peak write buffer {} exceeds cap + one chunk frame",
+        stats.peak_conn_write_buf
+    );
+}
+
+/// A blocking loopback socket whose receive buffer is clamped tiny
+/// *before* connecting, so the server's replies jam after a few
+/// kilobytes no matter how generous the kernel's autotuning is.
+fn tiny_rcvbuf_stream(port: u16) -> TcpStream {
+    unsafe {
+        let fd = libc::socket(libc::AF_INET, libc::SOCK_STREAM, 0);
+        assert!(fd >= 0, "socket");
+        let sz: libc::c_int = 4096;
+        let rc = libc::setsockopt(
+            fd,
+            libc::SOL_SOCKET,
+            libc::SO_RCVBUF,
+            &sz as *const libc::c_int as *const libc::c_void,
+            std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+        );
+        assert_eq!(rc, 0, "setsockopt SO_RCVBUF");
+        let addr = libc::sockaddr_in {
+            sin_family: libc::AF_INET as libc::sa_family_t,
+            sin_port: port.to_be(),
+            sin_addr: libc::in_addr {
+                s_addr: libc::INADDR_LOOPBACK.to_be(),
+            },
+            sin_zero: [0; 8],
+        };
+        let rc = libc::connect(
+            fd,
+            &addr as *const libc::sockaddr_in as *const libc::sockaddr,
+            std::mem::size_of::<libc::sockaddr_in>() as libc::socklen_t,
+        );
+        assert_eq!(rc, 0, "connect");
+        <TcpStream as std::os::fd::FromRawFd>::from_raw_fd(fd)
+    }
+}
+
+#[test]
+fn blocked_connection_does_not_stall_others() {
+    const N: i64 = 20_000;
+    let db = preloaded(N, |k| k);
+    let cfg = NetConfig {
+        scan_chunk: 128,
+        write_buf_cap: 2048,
+        // Clamp the kernel's send buffer so it cannot autotune itself
+        // into absorbing the whole scan; the jam must reach the
+        // server's own write buffer for backpressure to engage.
+        sndbuf: 8192,
+        ..NetConfig::default()
+    };
+    let srv = NetServer::spawn(Arc::clone(&db), cfg).expect("spawn");
+
+    // A connection that requests everything and reads nothing.
+    let mut blocked = tiny_rcvbuf_stream(srv.port());
+    let mut req = Vec::new();
+    wire::encode_request(
+        &mut req,
+        7,
+        &[Op::Scan {
+            start: 0,
+            count: N as usize,
+        }],
+    );
+    blocked.write_all(&req).expect("send scan");
+    // Let the server stream until the socket jams.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Other connections keep serving while it is jammed.
+    let mut c = WireClient::connect(srv.port()).expect("connect");
+    for k in 0..50 {
+        assert_eq!(
+            c.call(&[Op::Get(k)]).expect("bystander call")[0],
+            Reply::Found(Some(k)),
+            "bystander request stalled behind a blocked connection"
+        );
+    }
+    let stats = srv.stats();
+    assert!(
+        stats.backpressure_pauses >= 1,
+        "the jammed connection must have paused"
+    );
+    assert!(
+        stats.peak_conn_write_buf <= 2048 + 8192,
+        "peak write buffer {} not bounded by cap + one chunk frame",
+        stats.peak_conn_write_buf
+    );
+
+    // Drain the blocked connection: the full scan arrives, correct
+    // and in order, across many frames.
+    blocked
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut entries: Vec<(i64, i64)> = Vec::new();
+    let mut frames = 0u32;
+    'drain: loop {
+        let mut at = 0;
+        loop {
+            match wire::split_frame(&buf[at..]).expect("clean frame") {
+                wire::Frame::Incomplete => break,
+                wire::Frame::Payload { payload, consumed } => {
+                    let f = wire::decode_response(payload).expect("decodes");
+                    at += consumed;
+                    frames += 1;
+                    assert_eq!(f.corr, 7);
+                    for (slot, reply) in f.items {
+                        assert_eq!(slot, 0);
+                        match reply {
+                            Reply::Entries(mut es) => entries.append(&mut es),
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                    if f.last {
+                        break 'drain;
+                    }
+                }
+            }
+        }
+        buf.drain(..at);
+        let n = blocked.read(&mut tmp).expect("read");
+        assert_ne!(n, 0, "server closed the blocked connection");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    assert!(
+        frames >= 2,
+        "scan must stream chunked, got {frames} frame(s)"
+    );
+    let expect: Vec<(i64, i64)> = (0..N).map(|k| (k, k)).collect();
+    assert_eq!(entries, expect);
+}
+
+#[test]
+fn degraded_read_only_surfaces_as_typed_refusal() {
+    let dir = std::env::temp_dir().join(format!(
+        "rma-net-degraded-{}-{}",
+        std::process::id(),
+        rma_repro::rewiring::monotonic_ns()
+    ));
+    let inj = FaultInjector::new(9, FaultMode::Kill);
+    let db = Arc::new(
+        Db::builder()
+            .shard_config(ShardConfig {
+                num_shards: 4,
+                rma: RmaConfig {
+                    segment_size: 8,
+                    rewiring: RewiringMode::Disabled,
+                    reserve_bytes: 1 << 24,
+                    ..Default::default()
+                },
+                min_split_len: 64,
+                ..Default::default()
+            })
+            .router_workers(1)
+            .durability(
+                DurabilityConfig::new(&dir)
+                    .policy(CommitPolicy::Always)
+                    .fault(inj),
+            )
+            .build()
+            .expect("valid config"),
+    );
+    let srv = NetServer::spawn(Arc::clone(&db), NetConfig::default()).expect("spawn");
+    let mut c = WireClient::connect(srv.port()).expect("connect");
+    let mut refused = false;
+    for k in 0..64i64 {
+        match c.call(&[Op::Insert(k, k)]).expect("wire call survives")[0] {
+            Reply::Inserted => {}
+            Reply::Refused => {
+                refused = true;
+                break;
+            }
+            ref other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(refused, "the armed kill must refuse a write over the wire");
+    // The refusal was a typed reply, not a dropped connection: the
+    // same connection keeps serving reads.
+    assert_eq!(
+        c.call(&[Op::Get(0)]).expect("reads still serve")[0],
+        Reply::Found(Some(0))
+    );
+    assert!(db.is_read_only());
+    assert!(srv.stats().refused_ops >= 1);
+    drop(c);
+    drop(srv);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
